@@ -1,0 +1,199 @@
+// Command iwarpbench regenerates the verbs-level microbenchmark figures of
+// "RDMA Capable iWARP over Datagrams" (IPDPS 2011):
+//
+//	-fig 5   ping-pong latency, small/medium/large panels (Figure 5)
+//	-fig 6   unidirectional bandwidth sweep (Figure 6)
+//	-fig 7   UD send/recv bandwidth under packet loss (Figure 7)
+//	-fig 8   UD RDMA Write-Record bandwidth under packet loss (Figure 8)
+//	-fig 0   all of the above
+//
+// The absolute numbers come from this software stack over an in-process
+// simulated network, not the authors' 10GbE testbed; the comparisons
+// between modes are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iwarpbench: ")
+	var (
+		fig    = flag.Int("fig", 0, "figure to regenerate (5-8, 0 = all)")
+		iters  = flag.Int("iters", 200, "ping-pong iterations per point")
+		budget = flag.Int64("budget", 32<<20, "bytes transferred per bandwidth point")
+		seed   = flag.Int64("seed", 1, "simulated network RNG seed")
+	)
+	flag.Parse()
+
+	run := func(n int, f func() error) {
+		if *fig != 0 && *fig != n {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("figure %d: %v", n, err)
+		}
+	}
+	run(5, func() error { return fig5(*iters, *seed) })
+	run(6, func() error { return fig6(*budget, *seed) })
+	run(7, func() error { return figLoss(7, bench.UDSendRecv, *budget, *seed) })
+	run(8, func() error { return figLoss(8, bench.UDWriteRecord, *budget, *seed) })
+}
+
+var allModes = []bench.Mode{bench.UDSendRecv, bench.UDWriteRecord, bench.RCSendRecv, bench.RCWrite}
+
+func fig5(iters int, seed int64) error {
+	env, err := bench.NewEnv(bench.EnvConfig{Sim: simnet.Config{Seed: seed}})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	panels := []struct {
+		title string
+		sizes []int
+		iters int
+	}{
+		{"Figure 5a: Verbs Small Message Latency", stats.Sizes(1, 2<<10), iters},
+		{"Figure 5b: Verbs Medium Message Latency", stats.Sizes(4<<10, 64<<10), iters},
+		{"Figure 5c: Verbs Large Message Latency", stats.Sizes(128<<10, 1<<20), max(iters/4, 10)},
+	}
+	for _, p := range panels {
+		tbl := &bench.Table{
+			Title:   p.title,
+			XHeader: "MsgSize",
+			XLabels: bench.SizeLabels(p.sizes),
+			Unit:    "µs one-way",
+		}
+		for _, m := range allModes {
+			vals, err := env.LatencySweep(m, p.sizes, p.iters)
+			if err != nil {
+				return err
+			}
+			tbl.Series = append(tbl.Series, bench.Series{Label: m.String(), Values: vals})
+		}
+		if _, err := tbl.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	// The paper's headline small-message numbers.
+	small := stats.Sizes(1, 2<<10)
+	udsr, err := env.LatencySweep(bench.UDSendRecv, small, iters)
+	if err != nil {
+		return err
+	}
+	rcsr, err := env.LatencySweep(bench.RCSendRecv, small, iters)
+	if err != nil {
+		return err
+	}
+	udwr, err := env.LatencySweep(bench.UDWriteRecord, small, iters)
+	if err != nil {
+		return err
+	}
+	rcw, err := env.LatencySweep(bench.RCWrite, small, iters)
+	if err != nil {
+		return err
+	}
+	bestSR, bestWR := 0.0, 0.0
+	for i := range small {
+		if r := bench.Reduction(udsr[i], rcsr[i]); r > bestSR {
+			bestSR = r
+		}
+		if r := bench.Reduction(udwr[i], rcw[i]); r > bestWR {
+			bestWR = r
+		}
+	}
+	fmt.Printf("Summary (≤2K messages): UD send/recv improves on RC send/recv by up to %.1f%%"+
+		" (paper: 18.1%%); UD Write-Record improves on RC Write by up to %.1f%% (paper: 24.4%%)\n\n", bestSR, bestWR)
+	return nil
+}
+
+func fig6(budget int64, seed int64) error {
+	env, err := bench.NewEnv(bench.EnvConfig{Sim: simnet.Config{Seed: seed}})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	sizes := stats.Sizes(1, 1<<20)
+	tbl := &bench.Table{
+		Title:   "Figure 6: Unidirectional Verbs Bandwidth",
+		XHeader: "MsgSize",
+		XLabels: bench.SizeLabels(sizes),
+		Unit:    "MB/s",
+	}
+	series := map[bench.Mode][]float64{}
+	for _, m := range allModes {
+		vals, err := env.BandwidthSweep(m, sizes, budget)
+		if err != nil {
+			return err
+		}
+		series[m] = vals
+		tbl.Series = append(tbl.Series, bench.Series{Label: m.String(), Values: vals})
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	// Headline comparisons at the paper's named sizes.
+	idx := func(size int) int {
+		for i, s := range sizes {
+			if s == size {
+				return i
+			}
+		}
+		return -1
+	}
+	if i := idx(1 << 10); i >= 0 {
+		fmt.Printf("\n@1K:    UD Write-Record vs RC Write: %+.1f%% (paper: +188.8%%); UD send/recv vs RC send/recv: %+.1f%% (paper: +193%%)\n",
+			bench.Improvement(series[bench.UDWriteRecord][i], series[bench.RCWrite][i]),
+			bench.Improvement(series[bench.UDSendRecv][i], series[bench.RCSendRecv][i]))
+	}
+	if i := idx(256 << 10); i >= 0 {
+		fmt.Printf("@256K:  UD send/recv vs RC send/recv: %+.1f%% (paper: +33.4%%)\n",
+			bench.Improvement(series[bench.UDSendRecv][i], series[bench.RCSendRecv][i]))
+	}
+	if i := idx(512 << 10); i >= 0 {
+		fmt.Printf("@512K:  UD Write-Record vs RC Write: %+.1f%% (paper: +256%%)\n\n",
+			bench.Improvement(series[bench.UDWriteRecord][i], series[bench.RCWrite][i]))
+	}
+	return nil
+}
+
+// figLoss regenerates Figures 7/8: one mode's bandwidth across message
+// sizes under each packet-loss rate the paper tested.
+func figLoss(fig int, mode bench.Mode, budget int64, seed int64) error {
+	sizes := stats.Sizes(1, 1<<20)
+	rates := []float64{0.001, 0.005, 0.01, 0.05}
+	tbl := &bench.Table{
+		Title:   fmt.Sprintf("Figure %d: %s Bandwidth under Packet Loss", fig, mode),
+		XHeader: "MsgSize",
+		XLabels: bench.SizeLabels(sizes),
+		Unit:    "MB/s",
+	}
+	for _, rate := range rates {
+		env, err := bench.NewEnv(bench.EnvConfig{Sim: simnet.Config{LossRate: rate, Seed: seed}})
+		if err != nil {
+			return err
+		}
+		vals, err := env.BandwidthSweep(mode, sizes, budget)
+		env.Close()
+		if err != nil {
+			return err
+		}
+		tbl.Series = append(tbl.Series, bench.Series{Label: fmt.Sprintf("%.1f%% loss", rate*100), Values: vals})
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,148 @@
+package diwarp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestFacadeUDWriteRecord exercises the README quick-start flow end to end
+// through the public facade only.
+func TestFacadeUDWriteRecord(t *testing.T) {
+	net := NewSimNetwork(SimConfig{})
+	server, client := NewNode(), NewNode()
+
+	sep, err := net.OpenDatagram("server", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cep, err := net.OpenDatagram("client", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqp, err := server.OpenUD(sep, UDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sqp.Close()
+	cqp, err := client.OpenUD(cep, UDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cqp.Close()
+
+	sink, err := server.Register(make([]byte, 1<<16), RemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("quick start payload")
+	if err := cqp.PostWriteRecord(1, sqp.LocalAddr(), sink.STag(), 0, VecOf(data)); err != nil {
+		t.Fatal(err)
+	}
+	cqe, err := server.RecvCQ.Poll(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.Type != WTWriteRecordRecv || !cqe.Ok() {
+		t.Fatalf("CQE %+v", cqe)
+	}
+	if !cqe.Validity.Contains(0, uint64(len(data))) {
+		t.Fatalf("validity %s", cqe.Validity.String())
+	}
+	if !bytes.Equal(sink.Bytes()[:len(data)], data) {
+		t.Fatal("data not placed")
+	}
+}
+
+func TestFacadeRCOverSim(t *testing.T) {
+	net := NewSimNetwork(SimConfig{})
+	server, client := NewNode(), NewNode()
+	l, err := net.Listen("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		qp  *RCQP
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		qp, _, err := server.AcceptRC(s, RCConfig{}, nil)
+		ch <- res{qp, err}
+	}()
+	s, err := net.Dial("cli", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqp, _, err := client.ConnectRC(s, RCConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cqp.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.qp.Close()
+
+	buf := make([]byte, 64)
+	if err := r.qp.PostRecv(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cqp.PostSend(2, VecOf([]byte("facade rc"))); err != nil {
+		t.Fatal(err)
+	}
+	e, err := server.RecvCQ.Poll(time.Second)
+	if err != nil || !e.Ok() {
+		t.Fatalf("CQE %+v err %v", e, err)
+	}
+	if string(buf[:e.ByteLen]) != "facade rc" {
+		t.Fatalf("payload %q", buf[:e.ByteLen])
+	}
+}
+
+func TestFacadeReliableDatagram(t *testing.T) {
+	net := NewSimNetwork(SimConfig{LossRate: 0.2, Seed: 77})
+	a, b := NewNode(), NewNode()
+	aep, _ := net.OpenDatagram("a", 0)
+	bep, _ := net.OpenDatagram("b", 0)
+	aqp, err := a.OpenUD(Reliable(aep), UDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aqp.Close()
+	bqp, err := b.OpenUD(Reliable(bep), UDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bqp.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := bqp.PostRecv(uint64(i), make([]byte, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := aqp.PostSend(uint64(i), bqp.LocalAddr(), VecOf([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		e, err := b.RecvCQ.Poll(5 * time.Second)
+		if err != nil || !e.Ok() {
+			t.Fatalf("recv %d: %+v %v", i, e, err)
+		}
+	}
+}
+
+func TestPollBoth(t *testing.T) {
+	n := NewNode()
+	if _, err := n.PollBoth(20 * time.Millisecond); err != ErrCQEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}

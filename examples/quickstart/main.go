@@ -1,0 +1,77 @@
+// Quickstart: the smallest complete datagram-iWARP program.
+//
+// It builds a simulated network with two nodes, opens a datagram (UD)
+// queue pair on each, and demonstrates the two UD operations the paper
+// defines: two-sided send/recv and the one-sided RDMA Write-Record.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	diwarp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A simulated network: two hosts, no impairments. (Swap in
+	// diwarp.ListenUDP for real kernel sockets.)
+	net := diwarp.NewSimNetwork(diwarp.SimConfig{})
+
+	server, client := diwarp.NewNode(), diwarp.NewNode()
+	sep, err := net.OpenDatagram("server", 0)
+	check(err)
+	cep, err := net.OpenDatagram("client", 0)
+	check(err)
+
+	sqp, err := server.OpenUD(sep, diwarp.UDConfig{})
+	check(err)
+	defer sqp.Close()
+	cqp, err := client.OpenUD(cep, diwarp.UDConfig{})
+	check(err)
+	defer cqp.Close()
+
+	// --- Two-sided: send/recv over datagrams -----------------------------
+	// The server posts a receive buffer; the client addresses its send to
+	// the server (UD work requests carry destinations — there is no
+	// connection).
+	recvBuf := make([]byte, 256)
+	check(sqp.PostRecv(1, recvBuf))
+	check(cqp.PostSend(1, sqp.LocalAddr(), diwarp.VecOf([]byte("hello, datagram-iWARP"))))
+
+	cqe, err := server.RecvCQ.Poll(time.Second)
+	check(err)
+	fmt.Printf("send/recv:     %q from %s\n", recvBuf[:cqe.ByteLen], cqe.Src)
+
+	// --- One-sided: RDMA Write-Record ------------------------------------
+	// The server registers a sink region and advertises its STag (here:
+	// passed directly; over a real network the STag travels in any prior
+	// message). The client writes straight into server memory; no receive
+	// is consumed. The completion carries a validity map of what arrived.
+	sink, err := server.Register(make([]byte, 4096), diwarp.RemoteWrite)
+	check(err)
+	payload := []byte("placed directly into registered memory")
+	check(cqp.PostWriteRecord(2, sqp.LocalAddr(), sink.STag(), 128, diwarp.VecOf(payload)))
+
+	cqe, err = server.RecvCQ.Poll(time.Second)
+	check(err)
+	fmt.Printf("write-record:  %q\n", sink.Bytes()[cqe.TO:cqe.TO+uint64(cqe.MsgLen)])
+	fmt.Printf("validity map:  %s (covers %d of %d bytes)\n",
+		cqe.Validity.String(), cqe.Validity.Covered(), cqe.MsgLen)
+
+	// The source completed as fire-and-forget the moment the message hit
+	// the transport:
+	se, err := client.SendCQ.Poll(time.Second)
+	check(err)
+	fmt.Printf("source CQE:    type=%v status=%v wrid=%d\n", se.Type, se.Status, se.WRID)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

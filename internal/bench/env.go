@@ -1,0 +1,264 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation section: verbs-level latency and bandwidth microbenchmarks
+// (Figures 5 and 6), bandwidth under packet loss (Figures 7 and 8), the
+// media-streaming comparison (Figure 9), and the SIP latency and memory
+// experiments (Figures 10 and 11). cmd/iwarpbench, cmd/mediabench and
+// cmd/sipbench print the tables; bench_test.go wires the same code into
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	iwarp "repro/internal/core"
+	"repro/internal/memreg"
+	"repro/internal/mpa"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Mode selects one of the four datapaths the paper compares.
+type Mode int
+
+// The four modes of Figures 5–8.
+const (
+	UDSendRecv Mode = iota
+	UDWriteRecord
+	RCSendRecv
+	RCWrite
+)
+
+func (m Mode) String() string {
+	switch m {
+	case UDSendRecv:
+		return "UD Send/Recv"
+	case UDWriteRecord:
+		return "UD RDMA Write-Record"
+	case RCSendRecv:
+		return "RC Send/Recv"
+	case RCWrite:
+		return "RC RDMA Write"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// IsUD reports whether the mode runs over the datagram service.
+func (m Mode) IsUD() bool { return m == UDSendRecv || m == UDWriteRecord }
+
+// MaxMsgSize is the largest message the microbenchmarks sweep (the paper
+// sweeps to 1 MB).
+const MaxMsgSize = 1 << 20
+
+// sinkSize sizes each node's tagged sink region: offset rotation for
+// back-to-back tagged writes needs headroom above the largest message.
+const sinkSize = 2 * MaxMsgSize
+
+// EnvConfig parameterises a benchmark environment.
+type EnvConfig struct {
+	// Sim configures the simulated network (loss, MTU, seed...).
+	Sim simnet.Config
+	// MPA overrides RC framing (the marker/CRC ablations).
+	MPA mpa.Config
+	// RecvDepth bounds QP receive queues (default 512).
+	RecvDepth int
+}
+
+// Env is a benchmark environment: one simulated network on which each
+// measurement builds a fresh pair of endpoints. Fresh QPs per measurement
+// guarantee no state (posted receives, in-flight segments, CQ entries)
+// leaks from one data point into the next.
+type Env struct {
+	Net *simnet.Network
+	cfg EnvConfig
+
+	pairSeq int
+}
+
+// NewEnv builds the environment.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.RecvDepth == 0 {
+		cfg.RecvDepth = 512
+	}
+	return &Env{Net: simnet.New(cfg.Sim), cfg: cfg}, nil
+}
+
+// SetLossRate adjusts the per-fragment loss probability at runtime.
+func (e *Env) SetLossRate(p float64) { e.Net.SetLossRate(p) }
+
+// Close releases the environment. (Endpoint pairs are per-measurement and
+// already closed; the simulated network needs no teardown.)
+func (e *Env) Close() {}
+
+// node is one endpoint of a measurement with both QP types up.
+type node struct {
+	pd   *memreg.PD
+	tbl  *memreg.Table
+	sCQ  *iwarp.CQ
+	rCQ  *iwarp.CQ
+	ud   *iwarp.UDQP
+	rc   *iwarp.RCQP
+	sink *memreg.Region // tagged sink for Write/Write-Record
+}
+
+// pair is a fresh A/B endpoint pair for one measurement.
+type pair struct {
+	A, B *node
+}
+
+func (p *pair) close() {
+	for _, n := range []*node{p.A, p.B} {
+		if n == nil {
+			continue
+		}
+		if n.ud != nil {
+			n.ud.Close()
+		}
+		if n.rc != nil {
+			n.rc.Close()
+		}
+	}
+}
+
+// newPair opens UD endpoints and an RC connection between two fresh nodes.
+// depth overrides the configured receive-queue depth when positive (the
+// bandwidth test pre-posts every receive buffer up front).
+func (e *Env) newPair(depth int) (*pair, error) {
+	if depth <= 0 {
+		depth = e.cfg.RecvDepth
+	}
+	e.pairSeq++
+	hostA := fmt.Sprintf("a%d", e.pairSeq)
+	hostB := fmt.Sprintf("b%d", e.pairSeq)
+
+	mk := func(name string) (*node, error) {
+		n := &node{
+			pd:  memreg.NewPD(),
+			tbl: memreg.NewTable(),
+			sCQ: iwarp.NewCQ(4096),
+			rCQ: iwarp.NewCQ(4096),
+		}
+		ep, err := e.Net.OpenDatagram(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		n.ud, err = iwarp.OpenUD(ep, n.pd, n.tbl, n.sCQ, n.rCQ, iwarp.UDConfig{RecvDepth: depth})
+		if err != nil {
+			return nil, err
+		}
+		n.sink, err = n.tbl.Register(n.pd, make([]byte, sinkSize), memreg.RemoteWrite)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	p := &pair{}
+	var err error
+	if p.A, err = mk(hostA); err != nil {
+		return nil, err
+	}
+	if p.B, err = mk(hostB); err != nil {
+		p.close()
+		return nil, err
+	}
+
+	l, err := e.Net.Listen(hostB, 0)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	defer l.Close()
+	type res struct {
+		qp  *iwarp.RCQP
+		err error
+	}
+	ch := make(chan res, 1)
+	rcCfg := iwarp.RCConfig{RecvDepth: depth, MPA: e.cfg.MPA, BlockOnRNR: true}
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		qp, _, err := iwarp.AcceptRC(s, p.B.pd, p.B.tbl, p.B.sCQ, p.B.rCQ, rcCfg, nil)
+		ch <- res{qp, err}
+	}()
+	s, err := e.Net.Dial(hostA, l.Addr())
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	p.A.rc, _, err = iwarp.ConnectRC(s, p.A.pd, p.A.tbl, p.A.sCQ, p.A.rCQ, rcCfg, nil)
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	r := <-ch
+	if r.err != nil {
+		p.close()
+		return nil, r.err
+	}
+	p.B.rc = r.qp
+	return p, nil
+}
+
+// drain empties a CQ without blocking.
+func drain(cq *iwarp.CQ) {
+	for {
+		if _, err := cq.Poll(0); err != nil {
+			return
+		}
+	}
+}
+
+// pollSlice is the polling granularity of stoppable helpers.
+const pollSlice = 2 * time.Millisecond
+
+// pollType polls cq until a successful completion of the wanted type
+// arrives, skipping advisory errors and failed completions, or the timeout
+// elapses.
+func pollType(cq *iwarp.CQ, want iwarp.WorkType, timeout time.Duration) (iwarp.CQE, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return iwarp.CQE{}, transport.ErrTimeout
+		}
+		e, err := cq.Poll(remaining)
+		if err != nil {
+			return iwarp.CQE{}, err
+		}
+		if e.Type == want && e.Status == iwarp.StatusSuccess {
+			return e, nil
+		}
+	}
+}
+
+// pollTypeStop is pollType with a stop channel: it polls in pollSlice
+// windows so a helper goroutine exits promptly when its measurement ends.
+func pollTypeStop(cq *iwarp.CQ, want iwarp.WorkType, timeout time.Duration, stop <-chan struct{}) (iwarp.CQE, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		select {
+		case <-stop:
+			return iwarp.CQE{}, transport.ErrClosed
+		default:
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return iwarp.CQE{}, transport.ErrTimeout
+		}
+		window := pollSlice
+		if window > remaining {
+			window = remaining
+		}
+		e, err := cq.Poll(window)
+		if err != nil {
+			continue
+		}
+		if e.Type == want && e.Status == iwarp.StatusSuccess {
+			return e, nil
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	iwarp "repro/internal/core"
+	"repro/internal/nio"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// pingTimeout bounds each ping-pong iteration; on the zero-loss fixture it
+// should never fire.
+const pingTimeout = 5 * time.Second
+
+// PingPong measures one-way latency (half the measured round trip) for the
+// given mode and message size over iters round trips, reproducing the
+// methodology behind Figure 5. The returned sample is in microseconds.
+// Each call runs on a fresh pair of QPs.
+func (e *Env) PingPong(mode Mode, size, iters int) (*stats.Sample, error) {
+	p, err := e.newPair(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	echoBuf := make([]byte, size)
+	sample := &stats.Sample{}
+
+	switch mode {
+	case UDSendRecv, RCSendRecv:
+		post := func(n *node, id uint64, buf []byte) error {
+			if mode == UDSendRecv {
+				return n.ud.PostRecv(id, buf)
+			}
+			return n.rc.PostRecv(id, buf)
+		}
+		send := func(from *node, p2 []byte) error {
+			if mode == UDSendRecv {
+				var to transport.Addr
+				if from == p.A {
+					to = p.B.ud.LocalAddr()
+				} else {
+					to = p.A.ud.LocalAddr()
+				}
+				return from.ud.PostSend(0, to, nio.VecOf(p2))
+			}
+			return from.rc.PostSend(0, nio.VecOf(p2))
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		errc := make(chan error, 1)
+		ready := make(chan struct{})
+		go func() { // echo server on B
+			// Two alternating buffers: the next receive is posted BEFORE
+			// the echo is sent, so the initiator's next ping always finds a
+			// buffer waiting (no self-inflicted drops on the UD path).
+			bufs := [2][]byte{make([]byte, size), make([]byte, size)}
+			if err := post(p.B, 0, bufs[0]); err != nil {
+				errc <- err
+				close(ready)
+				return
+			}
+			close(ready)
+			for i := 0; ; i++ {
+				ev, err := pollTypeStop(p.B.rCQ, iwarp.WTRecv, pingTimeout, stop)
+				if err != nil {
+					if errors.Is(err, transport.ErrClosed) {
+						errc <- nil
+					} else {
+						errc <- err
+					}
+					return
+				}
+				cur := bufs[i%2]
+				if err := post(p.B, uint64((i+1)%2), bufs[(i+1)%2]); err != nil {
+					errc <- err
+					return
+				}
+				if err := send(p.B, cur[:ev.ByteLen]); err != nil {
+					errc <- err
+					return
+				}
+				drain(p.B.sCQ)
+			}
+		}()
+		<-ready
+		for i := 0; i < iters; i++ {
+			if err := post(p.A, 2, echoBuf); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := send(p.A, payload); err != nil {
+				return nil, err
+			}
+			if _, err := pollType(p.A.rCQ, iwarp.WTRecv, pingTimeout); err != nil {
+				return nil, fmt.Errorf("iter %d: %w", i, err)
+			}
+			sample.AddDuration(time.Since(start) / 2)
+			drain(p.A.sCQ)
+		}
+		select {
+		case err := <-errc:
+			if err != nil {
+				return nil, err
+			}
+		default:
+		}
+		return sample, nil
+
+	case UDWriteRecord:
+		stop := make(chan struct{})
+		defer close(stop)
+		errc := make(chan error, 1)
+		go func() { // reflector on B: write back on each target completion
+			for {
+				ev, err := pollTypeStop(p.B.rCQ, iwarp.WTWriteRecordRecv, pingTimeout, stop)
+				if err != nil {
+					if errors.Is(err, transport.ErrClosed) {
+						errc <- nil
+					} else {
+						errc <- err
+					}
+					return
+				}
+				data := p.B.sink.Bytes()[ev.TO : ev.TO+uint64(ev.MsgLen)]
+				copy(echoBuf, data)
+				if err := p.B.ud.PostWriteRecord(0, p.A.ud.LocalAddr(), p.A.sink.STag(), 0, nio.VecOf(echoBuf[:ev.MsgLen])); err != nil {
+					errc <- err
+					return
+				}
+				drain(p.B.sCQ)
+			}
+		}()
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if err := p.A.ud.PostWriteRecord(0, p.B.ud.LocalAddr(), p.B.sink.STag(), 0, nio.VecOf(payload)); err != nil {
+				return nil, err
+			}
+			if _, err := pollType(p.A.rCQ, iwarp.WTWriteRecordRecv, pingTimeout); err != nil {
+				return nil, fmt.Errorf("iter %d: %w", i, err)
+			}
+			sample.AddDuration(time.Since(start) / 2)
+			drain(p.A.sCQ)
+		}
+		select {
+		case err := <-errc:
+			if err != nil {
+				return nil, err
+			}
+		default:
+		}
+		return sample, nil
+
+	case RCWrite:
+		// The standard completion pattern of Figure 3's upper half: RDMA
+		// Write followed by a zero-byte Send that tells the target the data
+		// is valid; the target replies the same way.
+		stop := make(chan struct{})
+		defer close(stop)
+		errc := make(chan error, 1)
+		go func() {
+			note := make([]byte, 0)
+			buf := make([]byte, 16)
+			for {
+				if err := p.B.rc.PostRecv(1, buf); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := pollTypeStop(p.B.rCQ, iwarp.WTRecv, pingTimeout, stop); err != nil {
+					if errors.Is(err, transport.ErrClosed) {
+						errc <- nil
+					} else {
+						errc <- err
+					}
+					return
+				}
+				if err := p.B.rc.PostWrite(0, p.A.sink.STag(), 0, nio.VecOf(payload)); err != nil {
+					errc <- err
+					return
+				}
+				if err := p.B.rc.PostSend(0, nio.VecOf(note)); err != nil {
+					errc <- err
+					return
+				}
+				drain(p.B.sCQ)
+			}
+		}()
+		note := make([]byte, 0)
+		buf := make([]byte, 16)
+		for i := 0; i < iters; i++ {
+			if err := p.A.rc.PostRecv(2, buf); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := p.A.rc.PostWrite(0, p.B.sink.STag(), 0, nio.VecOf(payload)); err != nil {
+				return nil, err
+			}
+			if err := p.A.rc.PostSend(0, nio.VecOf(note)); err != nil {
+				return nil, err
+			}
+			if _, err := pollType(p.A.rCQ, iwarp.WTRecv, pingTimeout); err != nil {
+				return nil, fmt.Errorf("iter %d: %w", i, err)
+			}
+			sample.AddDuration(time.Since(start) / 2)
+			drain(p.A.sCQ)
+		}
+		select {
+		case err := <-errc:
+			if err != nil {
+				return nil, err
+			}
+		default:
+		}
+		return sample, nil
+	}
+	return nil, fmt.Errorf("bench: unknown mode %v", mode)
+}
+
+// BandwidthResult is one unidirectional bandwidth measurement.
+type BandwidthResult struct {
+	Mode      Mode
+	MsgSize   int
+	MsgsSent  int
+	Delivered int64 // valid bytes that reached the application
+	Elapsed   time.Duration
+}
+
+// MBps returns the goodput in decimal megabytes per second.
+func (r BandwidthResult) MBps() float64 { return stats.Throughput(r.Delivered, r.Elapsed) }
+
+// idleTimeout ends a bandwidth measurement when the receiver has seen no
+// traffic for this long after the sender finished (loss sweeps need it:
+// lost messages never arrive).
+const idleTimeout = 250 * time.Millisecond
+
+// Bandwidth measures unidirectional goodput A→B: the sender fires count
+// messages of the given size back to back ("one side is sending
+// back-to-back messages of the same size to the other side", §VI.A.1) and
+// the receiver counts the bytes that actually reach the application.
+// Under loss, goodput reflects the mode's delivery semantics: send/recv
+// needs every segment of a message; Write-Record places partial messages.
+// Each call runs on a fresh pair of QPs.
+func (e *Env) Bandwidth(mode Mode, size, count int) (BandwidthResult, error) {
+	res := BandwidthResult{Mode: mode, MsgSize: size, MsgsSent: count}
+	// Pre-post one receive per message: the receiver never races the
+	// sender for buffer reposts (the paper's testbed gave the receiver a
+	// dedicated CPU; on one core the repost loop would otherwise starve
+	// and inflict artificial drops).
+	p, err := e.newPair(count + 16)
+	if err != nil {
+		return res, err
+	}
+	defer p.close()
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	senderDone := make(chan error, 1)
+	start := time.Now()
+	lastEvent := start
+
+	switch mode {
+	case UDSendRecv, RCSendRecv:
+		// One pre-posted receive per message.
+		bufs := make([][]byte, count)
+		qpPost := func(id uint64, buf []byte) error {
+			if mode == UDSendRecv {
+				return p.B.ud.PostRecv(id, buf)
+			}
+			return p.B.rc.PostRecv(id, buf)
+		}
+		for i := range bufs {
+			bufs[i] = make([]byte, size)
+			if err := qpPost(uint64(i), bufs[i]); err != nil {
+				return res, err
+			}
+		}
+		go func() {
+			for i := 0; i < count; i++ {
+				var err error
+				if mode == UDSendRecv {
+					err = p.A.ud.PostSend(0, p.B.ud.LocalAddr(), nio.VecOf(payload))
+				} else {
+					err = p.A.rc.PostSend(0, nio.VecOf(payload))
+				}
+				if err != nil {
+					senderDone <- err
+					return
+				}
+				drain(p.A.sCQ)
+			}
+			senderDone <- nil
+		}()
+		received := 0
+		senderFinished := false
+		for received < count {
+			ev, err := pollType(p.B.rCQ, iwarp.WTRecv, idleTimeout)
+			if err != nil {
+				if senderFinished {
+					break
+				}
+				select {
+				case serr := <-senderDone:
+					if serr != nil {
+						return res, serr
+					}
+					senderFinished = true
+				default:
+				}
+				continue
+			}
+			res.Delivered += int64(ev.ByteLen)
+			lastEvent = time.Now()
+			received++
+		}
+		if !senderFinished {
+			if serr := <-senderDone; serr != nil {
+				return res, serr
+			}
+		}
+
+	case UDWriteRecord:
+		go func() {
+			var cursor uint64
+			for i := 0; i < count; i++ {
+				if cursor+uint64(size) > sinkSize {
+					cursor = 0
+				}
+				if err := p.A.ud.PostWriteRecord(0, p.B.ud.LocalAddr(), p.B.sink.STag(), cursor, nio.VecOf(payload)); err != nil {
+					senderDone <- err
+					return
+				}
+				cursor += uint64(size)
+				drain(p.A.sCQ)
+			}
+			senderDone <- nil
+		}()
+		received := 0
+		senderFinished := false
+		for received < count {
+			ev, err := pollType(p.B.rCQ, iwarp.WTWriteRecordRecv, idleTimeout)
+			if err != nil {
+				if senderFinished {
+					break
+				}
+				select {
+				case serr := <-senderDone:
+					if serr != nil {
+						return res, serr
+					}
+					senderFinished = true
+				default:
+				}
+				continue
+			}
+			res.Delivered += int64(ev.ByteLen) // partial placement counts
+			lastEvent = time.Now()
+			received++
+		}
+		if !senderFinished {
+			if serr := <-senderDone; serr != nil {
+				return res, serr
+			}
+		}
+
+	case RCWrite:
+		// Back-to-back writes; a final zero-byte Send marks the end so the
+		// receiver can time delivery (stream ordering places it last).
+		if err := p.B.rc.PostRecv(1, make([]byte, 16)); err != nil {
+			return res, err
+		}
+		go func() {
+			var cursor uint64
+			for i := 0; i < count; i++ {
+				if cursor+uint64(size) > sinkSize {
+					cursor = 0
+				}
+				if err := p.A.rc.PostWrite(0, p.B.sink.STag(), cursor, nio.VecOf(payload)); err != nil {
+					senderDone <- err
+					return
+				}
+				cursor += uint64(size)
+				drain(p.A.sCQ)
+			}
+			if err := p.A.rc.PostSend(0, nio.VecOf([]byte{})); err != nil {
+				senderDone <- err
+				return
+			}
+			drain(p.A.sCQ)
+			senderDone <- nil
+		}()
+		if _, err := pollType(p.B.rCQ, iwarp.WTRecv, time.Minute); err != nil {
+			return res, err
+		}
+		res.Delivered = int64(size) * int64(count)
+		lastEvent = time.Now()
+		if serr := <-senderDone; serr != nil {
+			return res, serr
+		}
+	default:
+		return res, fmt.Errorf("bench: unknown mode %v", mode)
+	}
+
+	res.Elapsed = lastEvent.Sub(start)
+	if res.Elapsed <= 0 {
+		res.Elapsed = time.Nanosecond
+	}
+	return res, nil
+}
+
+// LatencySweep runs PingPong across sizes, returning median one-way
+// latencies in microseconds, one per size. A short unmeasured warmup run
+// precedes each point so code paths and pools are hot.
+func (e *Env) LatencySweep(mode Mode, sizes []int, iters int) ([]float64, error) {
+	out := make([]float64, 0, len(sizes))
+	for _, sz := range sizes {
+		if _, err := e.PingPong(mode, sz, max(iters/10, 4)); err != nil {
+			return nil, fmt.Errorf("%v warmup @%d: %w", mode, sz, err)
+		}
+		s, err := e.PingPong(mode, sz, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%v @%d: %w", mode, sz, err)
+		}
+		out = append(out, s.Median())
+	}
+	return out, nil
+}
+
+// bandwidthTrials repeats each sweep point and keeps the best goodput:
+// peak bandwidth is the quantity the paper's plots show, and best-of
+// filters out scheduler and GC noise on a shared machine.
+const bandwidthTrials = 3
+
+// BandwidthSweep runs Bandwidth across sizes with a byte budget per point,
+// returning goodput in MB/s per size (best of bandwidthTrials runs).
+func (e *Env) BandwidthSweep(mode Mode, sizes []int, budget int64) ([]float64, error) {
+	out := make([]float64, 0, len(sizes))
+	for _, sz := range sizes {
+		count := int(budget / int64(sz))
+		if count < 4 {
+			count = 4
+		}
+		if count > 20000 {
+			count = 20000
+		}
+		best := 0.0
+		for trial := 0; trial < bandwidthTrials; trial++ {
+			r, err := e.Bandwidth(mode, sz, count)
+			if err != nil {
+				return nil, fmt.Errorf("%v @%d: %w", mode, sz, err)
+			}
+			if v := r.MBps(); v > best {
+				best = v
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}

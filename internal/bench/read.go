@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	iwarp "repro/internal/core"
+	"repro/internal/memreg"
+	"repro/internal/stats"
+)
+
+// ReadPingPong measures RDMA Read latency: the requester pulls size bytes
+// from the responder's region repeatedly, timing each full round trip
+// (request out, response placed, completion raised). With ud set it uses
+// the UD RDMA Read extension; otherwise the standard RC RDMA Read.
+func (e *Env) ReadPingPong(ud bool, size, iters int) (*stats.Sample, error) {
+	p, err := e.newPair(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+
+	src, err := p.B.tbl.Register(p.B.pd, make([]byte, size), memreg.RemoteRead)
+	if err != nil {
+		return nil, err
+	}
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i * 13)
+	}
+	sink, err := p.A.tbl.Register(p.A.pd, make([]byte, size), memreg.LocalWrite)
+	if err != nil {
+		return nil, err
+	}
+	sample := &stats.Sample{}
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if ud {
+			if err := p.A.ud.PostRead(uint64(i), p.B.ud.LocalAddr(), sink.STag(), 0, src.STag(), 0, size); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.A.rc.PostRead(uint64(i), sink.STag(), 0, src.STag(), 0, size); err != nil {
+				return nil, err
+			}
+		}
+		e2, err := pollType(p.A.sCQ, iwarp.WTRead, pingTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("read %d: %w", i, err)
+		}
+		if e2.WRID != uint64(i) {
+			return nil, fmt.Errorf("read %d completed as WR %d", i, e2.WRID)
+		}
+		sample.AddDuration(time.Since(start))
+	}
+	return sample, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Series is one labelled line of a figure: a name and a y-value per x.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Table renders figure data the way the paper's plots are read: sizes down
+// the rows, one column per mode/series.
+type Table struct {
+	Title   string
+	XHeader string
+	XLabels []string
+	Series  []Series
+	Unit    string
+}
+
+// WriteTo prints the table in aligned text form.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, " [%s]", t.Unit)
+	}
+	b.WriteString("\n")
+	// Header.
+	fmt.Fprintf(&b, "%-12s", t.XHeader)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 12+23*len(t.Series)))
+	for i, x := range t.XLabels {
+		fmt.Fprintf(&b, "%-12s", x)
+		for _, s := range t.Series {
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, " %22.2f", s.Values[i])
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// SizeLabels maps byte sizes to the paper's axis labels.
+func SizeLabels(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = stats.SizeLabel(s)
+	}
+	return out
+}
+
+// Improvement returns the percentage by which got improves over base for
+// "higher is better" metrics (bandwidth).
+func Improvement(got, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (got - base) / base
+}
+
+// Reduction returns the percentage by which got improves over base for
+// "lower is better" metrics (latency, buffering time, memory).
+func Reduction(got, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}

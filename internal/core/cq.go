@@ -1,0 +1,114 @@
+package iwarp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CQ is a completion queue: a bounded buffer of CQEs shared by any number
+// of queue pairs. Poll takes entries with an explicit timeout — the polling
+// discipline the paper requires for datagram-iWARP, where a lost datagram
+// means the awaited completion never arrives ("it is essential that the
+// completion queue be polled with a defined timeout period", §IV.B.1).
+type CQ struct {
+	ch       chan CQE
+	overruns atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DefaultCQDepth is the completion queue capacity used when depth 0 is
+// requested.
+const DefaultCQDepth = 1024
+
+// NewCQ creates a completion queue holding up to depth entries
+// (0 selects DefaultCQDepth).
+func NewCQ(depth int) *CQ {
+	if depth <= 0 {
+		depth = DefaultCQDepth
+	}
+	return &CQ{ch: make(chan CQE, depth)}
+}
+
+// post adds a completion. A full queue drops the entry and counts an
+// overrun — the hardware-CQ overflow behaviour; sizing the CQ to the sum of
+// queue depths avoids it, as on a real RNIC.
+func (cq *CQ) post(e CQE) {
+	cq.mu.Lock()
+	if cq.closed {
+		cq.mu.Unlock()
+		return
+	}
+	select {
+	case cq.ch <- e:
+	default:
+		cq.overruns.Add(1)
+	}
+	cq.mu.Unlock()
+}
+
+// Poll returns the next completion, waiting up to timeout. A zero timeout
+// polls without blocking; a negative timeout blocks indefinitely. It
+// returns ErrCQEmpty when the deadline passes with no completion.
+func (cq *CQ) Poll(timeout time.Duration) (CQE, error) {
+	// Fast path: a queued completion never pays for timer setup. Under
+	// load this is the common case and keeps the per-message cost of
+	// timeout-based polling near zero.
+	select {
+	case e := <-cq.ch:
+		return e, nil
+	default:
+	}
+	if timeout == 0 {
+		return CQE{}, ErrCQEmpty
+	}
+	if timeout < 0 {
+		return <-cq.ch, nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case e := <-cq.ch:
+		return e, nil
+	case <-t.C:
+		return CQE{}, ErrCQEmpty
+	}
+}
+
+// PollN collects up to max completions, waiting at most timeout for the
+// first and draining whatever else is immediately available.
+func (cq *CQ) PollN(max int, timeout time.Duration) []CQE {
+	if max <= 0 {
+		return nil
+	}
+	first, err := cq.Poll(timeout)
+	if err != nil {
+		return nil
+	}
+	out := []CQE{first}
+	for len(out) < max {
+		select {
+		case e := <-cq.ch:
+			out = append(out, e)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Len reports the number of queued completions.
+func (cq *CQ) Len() int { return len(cq.ch) }
+
+// Overruns reports how many completions were dropped to a full queue.
+func (cq *CQ) Overruns() int64 { return cq.overruns.Load() }
+
+// Close marks the queue closed; queued entries remain pollable. Posting
+// after Close is a silent no-op so racing QPs shut down cleanly.
+func (cq *CQ) Close() {
+	cq.mu.Lock()
+	cq.closed = true
+	cq.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package iwarp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/simnet"
+)
+
+// TestUDMulticastSend exercises the paper's §IV.A multicast scenario at the
+// verbs level: one datagram QP sends a message to a group address and every
+// subscribed QP completes a receive — one send, N deliveries, still zero
+// connections.
+func TestUDMulticastSend(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	group := simnet.GroupAddr(7)
+	sender := newUDNode(t, net, "src", UDConfig{})
+
+	const subscribers = 4
+	var subs []*udNode
+	for i := 0; i < subscribers; i++ {
+		ep, err := net.OpenDatagram("sub", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Join(group, ep); err != nil {
+			t.Fatal(err)
+		}
+		nd := &udNode{pd: memreg.NewPD(), tbl: memreg.NewTable(), scq: NewCQ(0), rcq: NewCQ(0)}
+		nd.qp, err = OpenUD(ep, nd.pd, nd.tbl, nd.scq, nd.rcq, UDConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.qp.Close() })
+		if err := nd.qp.PostRecv(uint64(i), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, nd)
+	}
+
+	if err := sender.qp.PostSend(1, group, nio.VecOf([]byte("media frame"))); err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range subs {
+		e, err := nd.rcq.Poll(time.Second)
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+		if !e.Ok() || e.ByteLen != len("media frame") {
+			t.Fatalf("subscriber %d: CQE %+v", i, e)
+		}
+		if e.Src != sender.qp.LocalAddr() {
+			t.Fatalf("subscriber %d: Src %v", i, e.Src)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package iwarp
+
+import "sync"
+
+// recvQueue is the posted-receive FIFO of a queue pair. The receiver side
+// "handles all of the buffer management and determines where incoming data
+// will be placed" (§II): each completed untagged message consumes the WR at
+// the head.
+type recvQueue struct {
+	mu    sync.Mutex
+	wrs   []RecvWR
+	depth int
+}
+
+func newRecvQueue(depth int) *recvQueue {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &recvQueue{depth: depth}
+}
+
+// post appends a receive WR, failing when the queue is at depth.
+func (q *recvQueue) post(wr RecvWR) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.wrs) >= q.depth {
+		return ErrRecvQueueFull
+	}
+	q.wrs = append(q.wrs, wr)
+	return nil
+}
+
+// pop removes and returns the head WR.
+func (q *recvQueue) pop() (RecvWR, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.wrs) == 0 {
+		return RecvWR{}, false
+	}
+	wr := q.wrs[0]
+	q.wrs[0] = RecvWR{}
+	q.wrs = q.wrs[1:]
+	if len(q.wrs) == 0 {
+		q.wrs = nil
+	}
+	return wr, true
+}
+
+// drain removes and returns every posted WR (for flushing at close).
+func (q *recvQueue) drain() []RecvWR {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.wrs
+	q.wrs = nil
+	return out
+}
+
+// len reports the number of posted WRs.
+func (q *recvQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.wrs)
+}

@@ -1,0 +1,438 @@
+package iwarp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ddp"
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/rdmap"
+	"repro/internal/transport"
+)
+
+// UDConfig parameterises a datagram queue pair.
+type UDConfig struct {
+	// RecvDepth bounds the posted-receive queue (default 256).
+	RecvDepth int
+	// ReassemblyTimeout bounds how long partial multi-segment messages are
+	// retained before being abandoned (default ddp.DefaultReassemblyTimeout).
+	ReassemblyTimeout time.Duration
+	// PerChunkCompletions switches Write-Record target notification from
+	// one aggregated validity-map completion per message to one completion
+	// per placed chunk — the paper's §IV.B.3 design alternative
+	// ("individual entries for each logical chunk of data in a message or
+	// ... a validity map").
+	PerChunkCompletions bool
+	// BlockOnRNR makes the placement engine wait for a posted receive
+	// instead of dropping a completed message, emulating the RNR
+	// NAK-and-retry behaviour of a reliable-datagram service. Only
+	// meaningful when the QP runs over a reliable LLP (rudp): blocking
+	// propagates backpressure to the sender through the transport window.
+	// Messages are still dropped after ReassemblyTimeout to bound the
+	// stall. Never enable over a raw unreliable endpoint — it would let
+	// one slow receiver stall the placement engine for all peers.
+	BlockOnRNR bool
+}
+
+// UDQP is a datagram (unreliable datagram, or — when bound to an
+// rudp.Endpoint — reliable datagram) queue pair. One UDQP serves any number
+// of peers: there is no connection, sends name their destination, and
+// receive completions report their source. That is the paper's scalability
+// argument in code — per-peer state is one reassembly slot at most, not a
+// connection.
+//
+// Loss semantics follow §IV.B: lost datagrams produce nothing (poll with a
+// timeout); CRC failures and placement violations yield advisory WTError
+// completions; the QP never transitions into an error state.
+type UDQP struct {
+	pd     *memreg.PD
+	tbl    *memreg.Table
+	ch     *ddp.DatagramChannel
+	sendCQ *CQ
+	recvCQ *CQ
+	cfg    UDConfig
+
+	rq         *recvQueue
+	reasmMu    sync.Mutex // guards reasm (shared by recvLoop and sweeper)
+	reasm      *ddp.Reassembler
+	reasmBytes atomic.Int64 // snapshot of reassembler memory, for Footprint
+	msn        atomic.Uint32
+
+	sendMu sync.Mutex // serialises multi-segment sends
+
+	recMu   sync.Mutex // guards records (Write-Record message trackers)
+	records map[wrKey]*wrTracker
+
+	readMu       sync.Mutex // guards pendingReads (outstanding UD reads)
+	pendingReads map[wrKey]*pendingUDRead
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	stats struct {
+		msgsSent, msgsRecv, bytesSent, bytesRecv          atomic.Int64
+		recvDropped, placed, placeErr, reassembled, swept atomic.Int64
+	}
+}
+
+// wrKey identifies one in-flight Write-Record message at the target.
+type wrKey struct {
+	from transport.Addr
+	msn  uint32
+}
+
+// wrTracker accumulates placement state for a multi-segment Write-Record
+// message until its Last segment arrives (or it is swept).
+type wrTracker struct {
+	stag     memreg.STag
+	validity memreg.ValidityMap
+	placed   int
+	born     time.Time
+}
+
+// OpenUD creates a datagram QP over the given endpoint. The endpoint may be
+// a raw unreliable datagram socket (UD service) or an rudp.Endpoint
+// (RD service); the QP is agnostic, exactly as the paper's design intends
+// ("compatible with both unreliable and reliable lower UDP layers").
+// Completions for sends go to sendCQ and for receives/target events to
+// recvCQ; the two may be the same CQ.
+func OpenUD(ep transport.Datagram, pd *memreg.PD, tbl *memreg.Table, sendCQ, recvCQ *CQ, cfg UDConfig) (*UDQP, error) {
+	if ep == nil || pd == nil || tbl == nil || sendCQ == nil || recvCQ == nil {
+		return nil, fmt.Errorf("%w: nil argument", ErrBadWR)
+	}
+	qp := &UDQP{
+		pd:           pd,
+		tbl:          tbl,
+		ch:           ddp.NewDatagramChannel(ep),
+		sendCQ:       sendCQ,
+		recvCQ:       recvCQ,
+		cfg:          cfg,
+		rq:           newRecvQueue(cfg.RecvDepth),
+		reasm:        ddp.NewReassembler(cfg.ReassemblyTimeout),
+		records:      make(map[wrKey]*wrTracker),
+		pendingReads: make(map[wrKey]*pendingUDRead),
+	}
+	qp.done = make(chan struct{})
+	qp.wg.Add(2)
+	go qp.recvLoop()
+	go qp.sweepLoop()
+	return qp, nil
+}
+
+// LocalAddr returns the QP's bound datagram address.
+func (qp *UDQP) LocalAddr() transport.Addr { return qp.ch.LocalAddr() }
+
+// PD returns the protection domain.
+func (qp *UDQP) PD() *memreg.PD { return qp.pd }
+
+// MaxMessage returns the largest single message the QP accepts. Following
+// the paper's recommendation, in-stack reassembly handles messages spanning
+// multiple datagrams, bounded here to keep tracker state sane.
+const maxUDMessage = 1 << 30
+
+// PostRecv posts a receive buffer for one incoming untagged message.
+func (qp *UDQP) PostRecv(id uint64, buf []byte) error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	return qp.rq.post(RecvWR{ID: id, Buf: buf})
+}
+
+// PostSend transmits one untagged message to the destination (the datagram
+// send verb of §IV.B item 4: the WR carries the destination address). The
+// WR completes as soon as every segment is handed to the LLP.
+func (qp *UDQP) PostSend(id uint64, to transport.Addr, payload nio.Vec) error {
+	return qp.postUntagged(id, to, payload, rdmap.OpSend)
+}
+
+// PostSendSE is Send with Solicited Event. Over our software stack the
+// event is the completion itself; the distinct opcode is preserved on the
+// wire for protocol fidelity.
+func (qp *UDQP) PostSendSE(id uint64, to transport.Addr, payload nio.Vec) error {
+	return qp.postUntagged(id, to, payload, rdmap.OpSendSE)
+}
+
+func (qp *UDQP) postUntagged(id uint64, to transport.Addr, payload nio.Vec, op rdmap.Opcode) error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	n := payload.Len()
+	if n > maxUDMessage {
+		return fmt.Errorf("%w: message of %d bytes", ErrBadWR, n)
+	}
+	msn := qp.msn.Add(1)
+	qp.sendMu.Lock()
+	err := qp.ch.SendUntagged(to, ddp.QNSend, msn, rdmap.Ctrl(op), payload)
+	qp.sendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	qp.stats.msgsSent.Add(1)
+	qp.stats.bytesSent.Add(int64(n))
+	qp.sendCQ.post(CQE{WRID: id, Type: WTSend, ByteLen: n, Src: to})
+	return nil
+}
+
+// PostWriteRecord performs the paper's RDMA Write-Record (§IV.B.3): a truly
+// one-sided tagged write of payload into the remote region named stag at
+// offset to. No receive is consumed at the target; the source completes
+// "at the moment that the last bit of the message is passed to [the]
+// transport layer". The target application discovers the data through
+// WTWriteRecordRecv completions carrying a validity map.
+func (qp *UDQP) PostWriteRecord(id uint64, dest transport.Addr, stag memreg.STag, to uint64, payload nio.Vec) error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	n := payload.Len()
+	if n > maxUDMessage {
+		return fmt.Errorf("%w: message of %d bytes", ErrBadWR, n)
+	}
+	msn := qp.msn.Add(1)
+	qp.sendMu.Lock()
+	err := qp.ch.SendTagged(dest, stag, to, msn, rdmap.Ctrl(rdmap.OpWriteRecord), payload)
+	qp.sendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	qp.stats.msgsSent.Add(1)
+	qp.stats.bytesSent.Add(int64(n))
+	qp.sendCQ.post(CQE{WRID: id, Type: WTWriteRecord, ByteLen: n, Src: dest})
+	return nil
+}
+
+// recvLoop is the QP's placement engine: it parses arriving segments,
+// reassembles untagged messages, places tagged ones, and generates
+// completions. It exits when the endpoint closes. It blocks without a
+// timeout — reassembly garbage collection runs in sweepLoop — so an idle
+// QP parks cheaply, with no timer churn on the per-datagram path.
+func (qp *UDQP) recvLoop() {
+	defer qp.wg.Done()
+	for {
+		seg, from, err := qp.ch.Recv(0)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				continue
+			}
+			qp.flushRecvs()
+			return
+		}
+		op, perr := rdmap.ParseCtrl(seg.RDMAP)
+		if perr != nil {
+			qp.advisory(from, perr)
+			continue
+		}
+		switch op {
+		case rdmap.OpSend, rdmap.OpSendSE:
+			qp.handleSend(from, &seg)
+		case rdmap.OpWriteRecord:
+			qp.handleWriteRecord(from, &seg)
+		case rdmap.OpReadReq:
+			qp.handleReadReq(from, &seg)
+		case rdmap.OpReadResp:
+			qp.handleReadResp(from, &seg)
+		case rdmap.OpTerminate:
+			if t, terr := rdmap.ParseTerminate(seg.Payload); terr == nil {
+				qp.advisory(from, t)
+			}
+		default:
+			// RDMA Write (non-Record) is undefined over UD; report, stay up.
+			qp.advisory(from, fmt.Errorf("%w over datagram QP: %s", rdmap.ErrBadOpcode, op))
+		}
+		// Every handler above copies (or places) the payload before
+		// returning, so the transport buffer can go back to its pool.
+		qp.ch.Recycle(seg.Raw)
+	}
+}
+
+func (qp *UDQP) reasmTimeout() time.Duration {
+	if qp.cfg.ReassemblyTimeout > 0 {
+		return qp.cfg.ReassemblyTimeout
+	}
+	return ddp.DefaultReassemblyTimeout
+}
+
+// advisory posts a WTError completion: the UD error model (errors are
+// "simply reported, but the QP is not forced into the error state").
+func (qp *UDQP) advisory(from transport.Addr, err error) {
+	qp.recvCQ.post(CQE{Type: WTError, Status: StatusBadWR, Err: err, Src: from})
+}
+
+func (qp *UDQP) handleSend(from transport.Addr, seg *ddp.Segment) {
+	qp.reasmMu.Lock()
+	msg, done := qp.reasm.Add(from, seg)
+	qp.reasmMu.Unlock()
+	if !done {
+		return
+	}
+	if seg.MO != 0 || !seg.Last {
+		qp.stats.reassembled.Add(1)
+	}
+	wr, ok := qp.rq.pop()
+	if !ok && qp.cfg.BlockOnRNR {
+		// RD service: behave like an RNR NAK loop, waiting for the
+		// application to post a receive, bounded by the sweep timeout.
+		deadline := time.Now().Add(qp.reasmTimeout())
+		for !ok && time.Now().Before(deadline) && !qp.closed.Load() {
+			time.Sleep(200 * time.Microsecond)
+			wr, ok = qp.rq.pop()
+		}
+	}
+	if !ok {
+		// No posted receive: the message is dropped, like a UD QP with an
+		// empty receive queue on a real RNIC.
+		qp.stats.recvDropped.Add(1)
+		return
+	}
+	if len(msg) > len(wr.Buf) {
+		qp.recvCQ.post(CQE{
+			WRID: wr.ID, Type: WTRecv, Status: StatusLocalLength,
+			Err: fmt.Errorf("iwarp: message %d bytes exceeds receive buffer %d", len(msg), len(wr.Buf)),
+			Src: from, ByteLen: len(msg),
+		})
+		return
+	}
+	copy(wr.Buf, msg)
+	qp.stats.msgsRecv.Add(1)
+	qp.stats.bytesRecv.Add(int64(len(msg)))
+	qp.recvCQ.post(CQE{WRID: wr.ID, Type: WTRecv, ByteLen: len(msg), Src: from})
+}
+
+func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
+	region, err := qp.tbl.Lookup(seg.STag)
+	if err != nil {
+		qp.stats.placeErr.Add(1)
+		qp.recvCQ.post(CQE{Type: WTError, Status: StatusRemoteInvalid, Err: err, Src: from, STag: seg.STag})
+		return
+	}
+	if err := region.Place(qp.pd, memreg.RemoteWrite, seg.TO, seg.Payload); err != nil {
+		qp.stats.placeErr.Add(1)
+		qp.recvCQ.post(CQE{Type: WTError, Status: StatusRemoteAccess, Err: err, Src: from, STag: seg.STag})
+		return
+	}
+	region.Record(seg.TO, len(seg.Payload))
+	qp.stats.placed.Add(1)
+	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
+
+	if qp.cfg.PerChunkCompletions {
+		var v memreg.ValidityMap
+		v.Add(seg.TO, uint64(len(seg.Payload)))
+		qp.recvCQ.post(CQE{
+			Type: WTWriteRecordRecv, ByteLen: len(seg.Payload), Src: from,
+			STag: seg.STag, TO: seg.TO, MsgLen: int(seg.MsgLen), Validity: v,
+		})
+		return
+	}
+
+	// Aggregated mode: single-segment fast path needs no tracker.
+	if seg.Last && uint64(len(seg.Payload)) == uint64(seg.MsgLen) {
+		var v memreg.ValidityMap
+		v.Add(seg.TO, uint64(len(seg.Payload)))
+		qp.stats.msgsRecv.Add(1)
+		qp.recvCQ.post(CQE{
+			Type: WTWriteRecordRecv, ByteLen: len(seg.Payload), Src: from,
+			STag: seg.STag, TO: seg.TO, MsgLen: int(seg.MsgLen), Validity: v,
+		})
+		return
+	}
+
+	key := wrKey{from: from, msn: seg.MSN}
+	qp.recMu.Lock()
+	tr, ok := qp.records[key]
+	if !ok {
+		tr = &wrTracker{stag: seg.STag, born: time.Now()}
+		qp.records[key] = tr
+	}
+	tr.validity.Add(seg.TO, uint64(len(seg.Payload)))
+	tr.placed += len(seg.Payload)
+	if !seg.Last {
+		qp.recMu.Unlock()
+		return
+	}
+	// The Last segment carries enough to locate the message base: its TO
+	// plus its length minus the total message length.
+	delete(qp.records, key)
+	qp.recMu.Unlock()
+	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
+	qp.stats.msgsRecv.Add(1)
+	qp.recvCQ.post(CQE{
+		Type: WTWriteRecordRecv, ByteLen: tr.placed, Src: from,
+		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
+	})
+}
+
+// sweepLoop periodically abandons stale reassembly partials and
+// Write-Record trackers, off the datapath.
+func (qp *UDQP) sweepLoop() {
+	defer qp.wg.Done()
+	ticker := time.NewTicker(qp.reasmTimeout() / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-qp.done:
+			return
+		case now := <-ticker.C:
+			qp.reasmMu.Lock()
+			qp.stats.swept.Add(int64(qp.reasm.Sweep()))
+			qp.reasmBytes.Store(qp.reasm.MemFootprint())
+			qp.reasmMu.Unlock()
+			qp.sweepRecords(now)
+			qp.sweepReads(now)
+		}
+	}
+}
+
+// sweepRecords abandons Write-Record trackers whose Last segment never
+// arrived — the paper's observation that "loss of this final packet results
+// in the loss of the entire message". The placed bytes remain in the region
+// (and in its validity map); only the notification is lost, exactly as in
+// the paper's design.
+func (qp *UDQP) sweepRecords(now time.Time) {
+	cutoff := now.Add(-qp.reasmTimeout())
+	qp.recMu.Lock()
+	for k, tr := range qp.records {
+		if tr.born.Before(cutoff) {
+			delete(qp.records, k)
+			qp.stats.swept.Add(1)
+		}
+	}
+	qp.recMu.Unlock()
+}
+
+// flushRecvs completes every posted receive with StatusFlushed at close.
+func (qp *UDQP) flushRecvs() {
+	for _, wr := range qp.rq.drain() {
+		qp.recvCQ.post(CQE{WRID: wr.ID, Type: WTRecv, Status: StatusFlushed, Err: ErrQPClosed})
+	}
+}
+
+// Stats returns a snapshot of the QP's datapath counters.
+func (qp *UDQP) Stats() Stats {
+	return Stats{
+		MsgsSent:       qp.stats.msgsSent.Load(),
+		MsgsReceived:   qp.stats.msgsRecv.Load(),
+		BytesSent:      qp.stats.bytesSent.Load(),
+		BytesReceived:  qp.stats.bytesRecv.Load(),
+		RecvDropped:    qp.stats.recvDropped.Load(),
+		PlacedSegments: qp.stats.placed.Load(),
+		PlaceErrors:    qp.stats.placeErr.Load(),
+		Reassembled:    qp.stats.reassembled.Load(),
+		SweptPartials:  qp.stats.swept.Load(),
+	}
+}
+
+// Close shuts the QP down, closing the underlying endpoint and flushing
+// posted receives.
+func (qp *UDQP) Close() error {
+	if qp.closed.Swap(true) {
+		return nil
+	}
+	close(qp.done)
+	err := qp.ch.Close()
+	qp.wg.Wait()
+	return err
+}

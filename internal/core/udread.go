@@ -1,0 +1,230 @@
+package iwarp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ddp"
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/rdmap"
+	"repro/internal/transport"
+)
+
+// UD RDMA Read — the paper's stated future work ("we would also like to
+// ... propose UD-based RDMA Read for use in HPC applications", §VII) —
+// implemented here as the natural dual of RDMA Write-Record:
+//
+//   - the requester sends an RDMA Read Request on untagged queue 1 carrying
+//     (sink STag, sink TO, length, source STag, source TO) plus the
+//     requester's MSN as a correlation cookie;
+//   - the responder validates the source region (REMOTE_READ rights) and
+//     streams the data back as tagged Read Response segments, which the
+//     requester's placement engine handles exactly like Write-Record
+//     segments: place, record, complete on the Last segment;
+//   - the completion carries a validity map, so — like Write-Record — a
+//     read over a lossy network can complete *partially*, with the holes
+//     visible to the application;
+//   - if the request, the Last response segment, or everything is lost, no
+//     completion arrives: the outstanding read is reclaimed by the sweeper
+//     with StatusTimedOut, preserving the paper's rule that a datagram QP
+//     never wedges on loss.
+type pendingUDRead struct {
+	id     uint64
+	sink   memreg.STag
+	sinkTO uint64
+	length int
+	born   time.Time
+}
+
+// PostRead issues a UD RDMA Read: length bytes from the remote region
+// (srcSTag, srcTO) at dest into the local region (sinkSTag, sinkTO). The
+// WR completes with WTRead when the response's final segment arrives —
+// possibly partially under loss (inspect the CQE's Validity) — or with
+// StatusTimedOut if the exchange is lost.
+func (qp *UDQP) PostRead(id uint64, dest transport.Addr, sinkSTag memreg.STag, sinkTO uint64, srcSTag memreg.STag, srcTO uint64, length int) error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	if length <= 0 || length > maxUDMessage {
+		return fmt.Errorf("%w: read of %d bytes", ErrBadWR, length)
+	}
+	// Validate the local sink up front: it must exist and be locally
+	// writable, since the responder's segments will be placed into it.
+	sink, err := qp.tbl.Lookup(sinkSTag)
+	if err != nil {
+		return fmt.Errorf("%w: sink: %v", ErrBadWR, err)
+	}
+	if sink.Access()&memreg.LocalWrite == 0 {
+		return fmt.Errorf("%w: sink lacks LOCAL_WRITE", ErrBadWR)
+	}
+	msn := qp.msn.Add(1)
+	req := rdmap.ReadReq{
+		SinkSTag: uint32(sinkSTag),
+		SinkTO:   sinkTO,
+		Len:      uint32(length),
+		SrcSTag:  uint32(srcSTag),
+		SrcTO:    srcTO,
+	}
+	key := wrKey{from: dest, msn: msn}
+	qp.readMu.Lock()
+	qp.pendingReads[key] = &pendingUDRead{
+		id: id, sink: sinkSTag, sinkTO: sinkTO, length: length, born: time.Now(),
+	}
+	qp.readMu.Unlock()
+
+	qp.sendMu.Lock()
+	err = qp.ch.SendUntagged(dest, ddp.QNReadReq, msn, rdmap.Ctrl(rdmap.OpReadReq), nio.VecOf(req.Append(nil)))
+	qp.sendMu.Unlock()
+	if err != nil {
+		qp.readMu.Lock()
+		delete(qp.pendingReads, key)
+		qp.readMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// handleReadReq services a peer's UD RDMA Read at the responder: fetch the
+// requested bytes from the local source region and stream them back as
+// tagged Read Response segments reusing the requester's MSN. Failures are
+// reported with a Terminate message, which the requester surfaces as an
+// advisory completion (the QP stays up, per the UD error model).
+func (qp *UDQP) handleReadReq(from transport.Addr, seg *ddp.Segment) {
+	req, err := rdmap.ParseReadReq(seg.Payload)
+	if err != nil {
+		qp.advisory(from, err)
+		return
+	}
+	src, err := qp.tbl.Lookup(memreg.STag(req.SrcSTag))
+	if err != nil {
+		qp.stats.placeErr.Add(1)
+		qp.sendTerminate(from, rdmap.LayerRDMAP, rdmap.TermInvalidSTag, err.Error())
+		return
+	}
+	buf := make([]byte, req.Len)
+	if err := src.Read(qp.pd, memreg.RemoteRead, req.SrcTO, buf); err != nil {
+		qp.stats.placeErr.Add(1)
+		qp.sendTerminate(from, rdmap.LayerRDMAP, rdmap.TermAccessViolation, err.Error())
+		return
+	}
+	qp.sendMu.Lock()
+	err = qp.ch.SendTagged(from, memreg.STag(req.SinkSTag), req.SinkTO, seg.MSN, rdmap.Ctrl(rdmap.OpReadResp), nio.VecOf(buf))
+	qp.sendMu.Unlock()
+	if err != nil {
+		qp.advisory(from, err)
+		return
+	}
+	qp.stats.bytesSent.Add(int64(len(buf)))
+}
+
+// handleReadResp places one tagged Read Response segment at the requester.
+// The placement path mirrors Write-Record; completion fires on the Last
+// segment against the matching outstanding read.
+func (qp *UDQP) handleReadResp(from transport.Addr, seg *ddp.Segment) {
+	key := wrKey{from: from, msn: seg.MSN}
+	qp.readMu.Lock()
+	pr, ok := qp.pendingReads[key]
+	qp.readMu.Unlock()
+	if !ok {
+		// Stale or duplicate response (e.g. its read already timed out).
+		return
+	}
+	region, err := qp.tbl.Lookup(seg.STag)
+	if err != nil || seg.STag != pr.sink {
+		qp.stats.placeErr.Add(1)
+		qp.failRead(key, pr, StatusRemoteInvalid, fmt.Errorf("iwarp: read response names unknown sink %#x", uint32(seg.STag)))
+		return
+	}
+	// Read responses target OUR OWN sink on our own behalf: LocalWrite
+	// suffices, matching the RC semantics.
+	if err := region.Place(qp.pd, memreg.LocalWrite, seg.TO, seg.Payload); err != nil {
+		qp.stats.placeErr.Add(1)
+		qp.failRead(key, pr, StatusLocalAccess, err)
+		return
+	}
+	qp.stats.placed.Add(1)
+	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
+
+	qp.recMu.Lock()
+	tr, ok := qp.records[key]
+	if !ok {
+		tr = &wrTracker{stag: seg.STag, born: time.Now()}
+		qp.records[key] = tr
+	}
+	tr.validity.Add(seg.TO, uint64(len(seg.Payload)))
+	tr.placed += len(seg.Payload)
+	if !seg.Last {
+		qp.recMu.Unlock()
+		return
+	}
+	delete(qp.records, key)
+	qp.recMu.Unlock()
+
+	qp.readMu.Lock()
+	delete(qp.pendingReads, key)
+	qp.readMu.Unlock()
+	qp.stats.msgsRecv.Add(1)
+	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
+	qp.sendCQ.post(CQE{
+		WRID: pr.id, Type: WTRead, ByteLen: tr.placed, Src: from,
+		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
+	})
+}
+
+// failRead completes an outstanding read unsuccessfully and drops its state.
+func (qp *UDQP) failRead(key wrKey, pr *pendingUDRead, status Status, err error) {
+	qp.readMu.Lock()
+	delete(qp.pendingReads, key)
+	qp.readMu.Unlock()
+	qp.recMu.Lock()
+	delete(qp.records, key)
+	qp.recMu.Unlock()
+	qp.sendCQ.post(CQE{WRID: pr.id, Type: WTRead, Status: status, Err: err, STag: pr.sink})
+}
+
+// sweepReads times out reads whose responses never completed.
+func (qp *UDQP) sweepReads(now time.Time) {
+	cutoff := now.Add(-qp.reasmTimeout())
+	type expired struct {
+		key wrKey
+		pr  *pendingUDRead
+	}
+	var dead []expired
+	qp.readMu.Lock()
+	for k, pr := range qp.pendingReads {
+		if pr.born.Before(cutoff) {
+			delete(qp.pendingReads, k)
+			dead = append(dead, expired{k, pr})
+		}
+	}
+	qp.readMu.Unlock()
+	for _, d := range dead {
+		qp.recMu.Lock()
+		tr := qp.records[d.key]
+		delete(qp.records, d.key)
+		qp.recMu.Unlock()
+		qp.stats.swept.Add(1)
+		cqe := CQE{
+			WRID: d.pr.id, Type: WTRead, Status: StatusTimedOut,
+			Err:  fmt.Errorf("iwarp: UD read timed out after %v", qp.reasmTimeout()),
+			STag: d.pr.sink,
+		}
+		if tr != nil {
+			// Partial data did arrive; report what is valid even though the
+			// Last segment never came.
+			cqe.ByteLen = tr.placed
+			cqe.Validity = tr.validity.Clone()
+		}
+		qp.sendCQ.post(cqe)
+	}
+}
+
+// sendTerminate reports an error back to a peer without touching QP state.
+func (qp *UDQP) sendTerminate(to transport.Addr, layer rdmap.TermLayer, code rdmap.TermCode, info string) {
+	t := rdmap.Terminate{Layer: layer, Code: code, Info: info}
+	msn := qp.msn.Add(1)
+	qp.sendMu.Lock()
+	_ = qp.ch.SendUntagged(to, ddp.QNTerminate, msn, rdmap.Ctrl(rdmap.OpTerminate), nio.VecOf(t.Append(nil)))
+	qp.sendMu.Unlock()
+}

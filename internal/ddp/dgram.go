@@ -1,0 +1,141 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/crcx"
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/transport"
+)
+
+// DatagramChannel binds DDP to an unreliable datagram LLP: the paper's
+// datagram-iWARP datapath (Figure 4, right column). There is no MPA layer —
+// "MPA bypassed for datagrams" — because datagrams carry their own message
+// boundaries. Every segment instead carries a CRC32C trailer, per the
+// paper's operating conditions ("datagram-iWARP always requires the use of
+// CRC32 when sending messages").
+//
+// Segmentation differs from the stream binding in the way the paper
+// describes: a message is cut into datagram-sized DDP segments (up to the
+// 64 KB UDP limit), each of which the network below may fragment to the
+// wire MTU. Loss of a wire fragment kills one segment, not the message —
+// which is what lets Write-Record place the surviving segments.
+type DatagramChannel struct {
+	ep transport.Datagram
+
+	sendMu  sync.Mutex
+	sendBuf []byte
+}
+
+// NewDatagramChannel wraps a datagram endpoint (raw simnet/UDP for UD, or
+// an rudp.Endpoint for the reliable-datagram mode).
+func NewDatagramChannel(ep transport.Datagram) *DatagramChannel {
+	return &DatagramChannel{ep: ep}
+}
+
+// MaxSegment returns the largest DDP payload one datagram segment carries.
+func (ch *DatagramChannel) MaxSegment() int {
+	return ch.ep.MaxDatagram() - TaggedHdrLen - crcx.Size
+}
+
+// Endpoint returns the underlying datagram endpoint.
+func (ch *DatagramChannel) Endpoint() transport.Datagram { return ch.ep }
+
+// LocalAddr returns the bound address.
+func (ch *DatagramChannel) LocalAddr() transport.Addr { return ch.ep.LocalAddr() }
+
+// Close closes the underlying endpoint.
+func (ch *DatagramChannel) Close() error { return ch.ep.Close() }
+
+// Recycle returns a fully-consumed receive buffer (a Segment's Raw field)
+// to the transport when it supports recycling; otherwise it is a no-op.
+func (ch *DatagramChannel) Recycle(raw []byte) {
+	if raw == nil {
+		return
+	}
+	if r, ok := ch.ep.(transport.Recycler); ok {
+		r.Recycle(raw)
+	}
+}
+
+// SendUntagged segments one untagged message to the destination. Segments
+// may be lost or reordered in flight; the headers carry enough state (MSN,
+// MO, MsgLen, Last) for the receiver's Reassembler to cope.
+func (ch *DatagramChannel) SendUntagged(to transport.Addr, qn, msn uint32, rdmapCtrl byte, payload nio.Vec) error {
+	return ch.send(to, &Segment{QN: qn, MSN: msn, RDMAP: rdmapCtrl}, payload)
+}
+
+// SendTagged segments one tagged message for direct placement at the
+// destination. Used by RDMA Write-Record: each segment is independently
+// placeable on arrival.
+func (ch *DatagramChannel) SendTagged(to transport.Addr, stag memreg.STag, toff uint64, msn uint32, rdmapCtrl byte, payload nio.Vec) error {
+	return ch.send(to, &Segment{Tagged: true, STag: stag, TO: toff, MSN: msn, RDMAP: rdmapCtrl}, payload)
+}
+
+func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.Vec) error {
+	total := payload.Len()
+	if uint64(total) > uint64(^uint32(0)) {
+		return fmt.Errorf("%w: %d bytes", ErrTooBig, total)
+	}
+	proto.MsgLen = uint32(total)
+	maxSeg := ch.ep.MaxDatagram() - proto.HeaderLen() - crcx.Size
+
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	off := 0
+	for {
+		n := min(maxSeg, total-off)
+		proto.Last = off+n == total
+		pkt := AppendHeader(ch.sendBuf[:0], proto)
+		pkt = payload.Slice(off, n).AppendTo(pkt)
+		pkt = nio.PutU32(pkt, crcx.Checksum(pkt))
+		ch.sendBuf = pkt[:0]
+		if err := ch.ep.SendTo(pkt, to); err != nil {
+			return err
+		}
+		off += n
+		if proto.Tagged {
+			proto.TO += uint64(n)
+		} else {
+			proto.MO += uint32(n)
+		}
+		if proto.Last {
+			return nil
+		}
+	}
+}
+
+// Recv returns the next CRC-valid DDP segment and its source. Segments
+// failing CRC are dropped and counted, per the paper's UD error model
+// (errors are reported, the channel stays usable). A zero timeout blocks.
+func (ch *DatagramChannel) Recv(timeout time.Duration) (Segment, transport.Addr, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		remaining := time.Duration(0)
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				return Segment{}, transport.Addr{}, transport.ErrTimeout
+			}
+		}
+		pkt, from, err := ch.ep.Recv(remaining)
+		if err != nil {
+			return Segment{}, transport.Addr{}, err
+		}
+		seg, err := Parse(pkt, true)
+		if err != nil {
+			// Corrupt or runt datagram: drop and keep receiving. The QP does
+			// not error out (paper §IV.B item 2).
+			ch.Recycle(pkt)
+			continue
+		}
+		seg.Raw = pkt
+		return seg, from, nil
+	}
+}

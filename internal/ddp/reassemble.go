@@ -1,0 +1,125 @@
+package ddp
+
+import (
+	"time"
+
+	"repro/internal/memreg"
+	"repro/internal/transport"
+)
+
+// Reassembler rebuilds untagged messages from datagram DDP segments that
+// may arrive out of order, duplicated, or not at all. It implements the
+// paper's receive-side behaviour for UD send/recv: "multiple packets are
+// segmented at the sender and recombined at the target machine", and a
+// message for which segments never stop missing is abandoned by timeout —
+// the mechanism behind "the failure to receive a given packet" completing
+// as a poll timeout rather than wedging the queue.
+//
+// Keying is (source address, queue number, MSN): distinct senders and
+// queues reassemble independently, since a UD endpoint serves many peers.
+type Reassembler struct {
+	pending map[reasmKey]*reasmState
+	maxAge  time.Duration
+	now     func() time.Time // injectable clock for tests
+}
+
+type reasmKey struct {
+	from transport.Addr
+	qn   uint32
+	msn  uint32
+}
+
+type reasmState struct {
+	buf     []byte
+	arrived memreg.ValidityMap
+	born    time.Time
+}
+
+// DefaultReassemblyTimeout bounds how long partial messages are retained.
+const DefaultReassemblyTimeout = 2 * time.Second
+
+// NewReassembler returns a reassembler that discards partial messages older
+// than maxAge (0 selects DefaultReassemblyTimeout).
+func NewReassembler(maxAge time.Duration) *Reassembler {
+	if maxAge == 0 {
+		maxAge = DefaultReassemblyTimeout
+	}
+	return &Reassembler{
+		pending: make(map[reasmKey]*reasmState),
+		maxAge:  maxAge,
+		now:     time.Now,
+	}
+}
+
+// Add incorporates one untagged segment. When the segment completes its
+// message, the full payload is returned with done=true and the message's
+// state is released. Duplicate segments are absorbed. Add is not safe for
+// concurrent use; the owning QP serialises it.
+func (r *Reassembler) Add(from transport.Addr, seg *Segment) (msg []byte, done bool) {
+	if seg.Tagged {
+		return nil, false
+	}
+	// Fast path: single-segment message (MO 0 and Last), no state needed.
+	if seg.Last && seg.MO == 0 {
+		if int(seg.MsgLen) != len(seg.Payload) {
+			return nil, false // inconsistent header; drop
+		}
+		out := make([]byte, len(seg.Payload))
+		copy(out, seg.Payload)
+		return out, true
+	}
+	end := uint64(seg.MO) + uint64(len(seg.Payload))
+	if end > uint64(seg.MsgLen) {
+		return nil, false // segment overflows its declared message; drop
+	}
+	key := reasmKey{from: from, qn: seg.QN, msn: seg.MSN}
+	st, ok := r.pending[key]
+	if !ok {
+		st = &reasmState{
+			buf:  make([]byte, seg.MsgLen),
+			born: r.now(),
+		}
+		r.pending[key] = st
+	}
+	if uint64(len(st.buf)) != uint64(seg.MsgLen) {
+		// Conflicting MsgLen for the same MSN — stale state from a previous
+		// life of this sequence number. Restart with the new message.
+		st.buf = make([]byte, seg.MsgLen)
+		st.arrived.Reset()
+		st.born = r.now()
+	}
+	copy(st.buf[seg.MO:end], seg.Payload)
+	st.arrived.Add(uint64(seg.MO), uint64(len(seg.Payload)))
+	if st.arrived.Complete(uint64(seg.MsgLen)) {
+		delete(r.pending, key)
+		return st.buf, true
+	}
+	return nil, false
+}
+
+// Sweep discards partial messages older than the reassembler's maximum age
+// and returns how many were dropped. Callers run it periodically (the UD
+// QP's receive loop does, amortised).
+func (r *Reassembler) Sweep() int {
+	cutoff := r.now().Add(-r.maxAge)
+	n := 0
+	for k, st := range r.pending {
+		if st.born.Before(cutoff) {
+			delete(r.pending, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Pending reports how many partial messages are being held.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// MemFootprint reports the bytes of buffer held by partial messages.
+func (r *Reassembler) MemFootprint() int64 {
+	var n int64
+	for _, st := range r.pending {
+		n += int64(cap(st.buf))
+	}
+	return n
+}

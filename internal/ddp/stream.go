@@ -1,0 +1,103 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memreg"
+	"repro/internal/mpa"
+	"repro/internal/nio"
+)
+
+// StreamChannel binds DDP to a reliable stream through MPA framing: the
+// standard iWARP RC datapath (Figure 1 of the paper). Each DDP segment is
+// one MPA ULPDU; the MTU seen by segmentation is the MPA MULPDU, so large
+// messages become many small FPDUs — exactly the per-segment overhead the
+// paper's large-message bandwidth comparison exposes.
+type StreamChannel struct {
+	conn *mpa.Conn
+
+	sendMu  sync.Mutex
+	sendBuf []byte
+}
+
+// NewStreamChannel wraps an MPA connection.
+func NewStreamChannel(conn *mpa.Conn) *StreamChannel {
+	return &StreamChannel{conn: conn}
+}
+
+// MaxSegment returns the largest DDP payload one tagged segment can carry.
+func (ch *StreamChannel) MaxSegment() int {
+	return ch.conn.MaxULPDU() - TaggedHdrLen
+}
+
+// Close closes the underlying MPA connection.
+func (ch *StreamChannel) Close() error { return ch.conn.Close() }
+
+// Footprint reports the channel's buffer memory plus the underlying MPA
+// connection's, and — when the stream exposes a MemFootprint method, as the
+// simulated network's streams do — the stream's buffering too.
+func (ch *StreamChannel) Footprint() int64 {
+	ch.sendMu.Lock()
+	n := int64(cap(ch.sendBuf))
+	ch.sendMu.Unlock()
+	n += ch.conn.BufferFootprint()
+	if m, ok := ch.conn.Stream().(interface{ MemFootprint() int64 }); ok {
+		n += m.MemFootprint()
+	}
+	return n
+}
+
+// SendUntagged segments one untagged message onto queue qn with message
+// sequence number msn and writes every segment in order.
+func (ch *StreamChannel) SendUntagged(qn, msn uint32, rdmapCtrl byte, payload nio.Vec) error {
+	return ch.send(&Segment{QN: qn, MSN: msn, RDMAP: rdmapCtrl}, payload)
+}
+
+// SendTagged segments one tagged message placing payload at [to, to+len)
+// within the remote region named stag.
+func (ch *StreamChannel) SendTagged(stag memreg.STag, to uint64, msn uint32, rdmapCtrl byte, payload nio.Vec) error {
+	return ch.send(&Segment{Tagged: true, STag: stag, TO: to, MSN: msn, RDMAP: rdmapCtrl}, payload)
+}
+
+func (ch *StreamChannel) send(proto *Segment, payload nio.Vec) error {
+	total := payload.Len()
+	if uint64(total) > uint64(^uint32(0)) {
+		return fmt.Errorf("%w: %d bytes", ErrTooBig, total)
+	}
+	proto.MsgLen = uint32(total)
+	maxSeg := ch.conn.MaxULPDU() - proto.HeaderLen()
+
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	off := 0
+	for {
+		n := min(maxSeg, total-off)
+		proto.Last = off+n == total
+		hdr := AppendHeader(ch.sendBuf[:0], proto)
+		ch.sendBuf = hdr[:0]
+		chunk := payload.Slice(off, n)
+		if err := ch.conn.Send(append(nio.Vec{hdr}, chunk...)); err != nil {
+			return err
+		}
+		off += n
+		if proto.Tagged {
+			proto.TO += uint64(n)
+		} else {
+			proto.MO += uint32(n)
+		}
+		if proto.Last {
+			return nil
+		}
+	}
+}
+
+// Recv returns the next DDP segment from the stream. The segment's payload
+// is valid until the next Recv call.
+func (ch *StreamChannel) Recv() (Segment, error) {
+	ulpdu, err := ch.conn.Recv()
+	if err != nil {
+		return Segment{}, err
+	}
+	return Parse(ulpdu, false)
+}

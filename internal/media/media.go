@@ -1,0 +1,299 @@
+// Package media implements the streaming workload of the paper's §VI.B.1
+// (the VLC experiment): a deterministic synthetic media clip, a streaming
+// server speaking the two protocols the paper compares — UDP transport
+// streaming (VLC's UDP mode) and HTTP-style streaming over a reliable
+// connection (VLC's HTTP mode) — and a client that measures initial
+// buffering time, the metric of Figure 9.
+//
+// The UDP mode can run its data path over plain send/recv or over RDMA
+// Write-Record through the socket interface, reproducing the paper's
+// observation that the two are nearly identical through a buffered-copy
+// socket layer.
+package media
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sockif"
+	"repro/internal/transport"
+)
+
+// TSPacket is the MPEG transport-stream packet size; media payloads are
+// multiples of it. DefaultFrameSize is seven TS packets — the datagram
+// payload VLC uses for UDP streaming, and the "1KB to 1.5KB" message size
+// the paper calls "of great importance ... in the delivery of media".
+const (
+	TSPacket         = 188
+	DefaultFrameSize = 7 * TSPacket // 1316
+)
+
+// Streaming errors.
+var (
+	ErrBadRequest = errors.New("media: malformed streaming request")
+	ErrShortClip  = errors.New("media: stream ended before the buffer filled")
+)
+
+// Clip is a synthetic media asset: Size bytes of deterministic content cut
+// into FrameSize datagram payloads.
+type Clip struct {
+	Size      int64
+	FrameSize int
+}
+
+// NewClip returns a clip of the given size with the default frame size.
+func NewClip(size int64) Clip { return Clip{Size: size, FrameSize: DefaultFrameSize} }
+
+// Frames returns how many frames the clip streams.
+func (c Clip) Frames() int {
+	fs := int64(c.frameSize())
+	return int((c.Size + fs - 1) / fs)
+}
+
+func (c Clip) frameSize() int {
+	if c.FrameSize <= 0 {
+		return DefaultFrameSize
+	}
+	return c.FrameSize
+}
+
+// Frame fills dst with frame i's bytes and returns its length (the last
+// frame may be short). Content is deterministic so receivers can verify.
+func (c Clip) Frame(i int, dst []byte) int {
+	fs := c.frameSize()
+	off := int64(i) * int64(fs)
+	if off >= c.Size {
+		return 0
+	}
+	n := fs
+	if rem := c.Size - off; int64(n) > rem {
+		n = int(rem)
+	}
+	for j := 0; j < n; j++ {
+		pos := off + int64(j)
+		dst[j] = byte(pos*2654435761 + pos>>8)
+	}
+	return n
+}
+
+// VerifyFrame reports whether a received frame matches the clip content at
+// frame index i.
+func (c Clip) VerifyFrame(i int, data []byte) bool {
+	buf := make([]byte, c.frameSize())
+	n := c.Frame(i, buf)
+	return n == len(data) && bytes.Equal(buf[:n], data)
+}
+
+// --- UDP-mode streaming (VLC UDP) ---
+
+// playRequest is the client's start message: "PLAY <prebuffer> <wr>".
+func playRequest(wr bool) []byte {
+	if wr {
+		return []byte("PLAY WR")
+	}
+	return []byte("PLAY")
+}
+
+// ServeUDP waits for one PLAY request on the socket and streams the whole
+// clip to the requester as fast as the transport accepts it. When the
+// request asks for Write-Record mode, the server switches its data path to
+// RDMA Write-Record into the client's advertised ring before streaming.
+func ServeUDP(sock *sockif.Socket, clip Clip, timeout time.Duration) error {
+	buf := make([]byte, 256)
+	n, from, err := sock.RecvFrom(buf, timeout)
+	if err != nil {
+		return err
+	}
+	req := string(buf[:n])
+	if !strings.HasPrefix(req, "PLAY") {
+		return fmt.Errorf("%w: %q", ErrBadRequest, req)
+	}
+	if err := sock.Connect(from); err != nil {
+		return err
+	}
+	if strings.HasSuffix(req, "WR") {
+		if err := sock.EnableWriteRecord(timeout); err != nil {
+			return fmt.Errorf("media: write-record setup: %w", err)
+		}
+	}
+	frame := make([]byte, clip.frameSize())
+	for i := 0; i < clip.Frames(); i++ {
+		k := clip.Frame(i, frame)
+		if err := sock.Send(frame[:k]); err != nil {
+			return err
+		}
+		// Yield after each frame: datagrams have no flow control, and
+		// without the wire serializing sends (server and client share one
+		// CPU here, unlike the paper's two hosts) the send loop would
+		// starve the receiving client.
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// PreBufferUDP requests the stream and receives until prebuffer bytes have
+// arrived, returning the initial-buffering time (the Figure 9 metric) and
+// the byte count actually received. With writeRecord set, the client asks
+// the server to stream via RDMA Write-Record; the client's socket pump
+// answers the ring advertisement automatically.
+func PreBufferUDP(sock *sockif.Socket, server transport.Addr, prebuffer int64, writeRecord bool, timeout time.Duration) (time.Duration, int64, error) {
+	if err := sock.SendTo(playRequest(writeRecord), server); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	buf := make([]byte, 64<<10)
+	var got int64
+	deadline := start.Add(timeout)
+	for got < prebuffer {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, got, transport.ErrTimeout
+		}
+		n, _, err := sock.RecvFrom(buf, remaining)
+		if err != nil {
+			return 0, got, err
+		}
+		got += int64(n)
+	}
+	return time.Since(start), got, nil
+}
+
+// --- HTTP-mode streaming (VLC HTTP over RC) ---
+
+// ServeHTTP accepts one connection and serves the clip with HTTP-style
+// framing: request line + headers in, status line + headers + body out.
+// The extra protocol overhead relative to UDP mode is intentional — the
+// paper notes "there is more inherent overhead involved in the HTTP based
+// method" and attributes part of the RC gap to it.
+func ServeHTTP(l *sockif.StreamListener, clip Clip) error {
+	conn, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Read the request up to the blank line.
+	var req []byte
+	buf := make([]byte, 4096)
+	for !bytes.Contains(req, []byte("\r\n\r\n")) {
+		n, err := conn.Recv(buf, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		req = append(req, buf[:n]...)
+		if len(req) > 64<<10 {
+			return ErrBadRequest
+		}
+	}
+	line, _, _ := bytes.Cut(req, []byte("\r\n"))
+	parts := strings.Fields(string(line))
+	if len(parts) != 3 || parts[0] != "GET" {
+		resp := "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
+		_ = conn.Send([]byte(resp))
+		return fmt.Errorf("%w: %q", ErrBadRequest, line)
+	}
+	hdr := "HTTP/1.1 200 OK\r\nContent-Type: video/mp2t\r\nContent-Length: " +
+		strconv.FormatInt(clip.Size, 10) + "\r\n\r\n"
+	if err := conn.Send([]byte(hdr)); err != nil {
+		return err
+	}
+	frame := make([]byte, clip.frameSize())
+	for i := 0; i < clip.Frames(); i++ {
+		k := clip.Frame(i, frame)
+		if err := conn.Send(frame[:k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PreBufferHTTP issues the HTTP request on a connected stream socket and
+// receives until prebuffer body bytes have arrived, returning the
+// initial-buffering time measured from the request.
+func PreBufferHTTP(conn *sockif.Socket, prebuffer int64, timeout time.Duration) (time.Duration, int64, error) {
+	start := time.Now()
+	if err := conn.Send([]byte("GET /stream HTTP/1.1\r\nHost: media\r\n\r\n")); err != nil {
+		return 0, 0, err
+	}
+	buf := make([]byte, 64<<10)
+	var body int64
+	var headerDone bool
+	var acc []byte
+	deadline := start.Add(timeout)
+	for body < prebuffer {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, body, transport.ErrTimeout
+		}
+		n, err := conn.Recv(buf, remaining)
+		if err != nil {
+			return 0, body, err
+		}
+		data := buf[:n]
+		if !headerDone {
+			acc = append(acc, data...)
+			if i := bytes.Index(acc, []byte("\r\n\r\n")); i >= 0 {
+				status, _, _ := bytes.Cut(acc, []byte("\r\n"))
+				if !bytes.Contains(status, []byte(" 200 ")) {
+					return 0, 0, fmt.Errorf("%w: %q", ErrBadRequest, status)
+				}
+				headerDone = true
+				body += int64(len(acc) - i - 4)
+				acc = nil
+			}
+			continue
+		}
+		body += int64(n)
+	}
+	return time.Since(start), body, nil
+}
+
+// --- Native UDP baseline (socket-interface overhead measurement) ---
+
+// ServeNativeUDP is the UDP-mode streamer over a raw transport endpoint,
+// bypassing the iWARP stack and socket interface entirely: the baseline
+// for the paper's ≈2% interface-overhead measurement.
+func ServeNativeUDP(ep transport.Datagram, clip Clip, timeout time.Duration) error {
+	req, from, err := ep.Recv(timeout)
+	if err != nil {
+		return err
+	}
+	if !bytes.HasPrefix(req, []byte("PLAY")) {
+		return fmt.Errorf("%w: %q", ErrBadRequest, req)
+	}
+	frame := make([]byte, clip.frameSize())
+	for i := 0; i < clip.Frames(); i++ {
+		k := clip.Frame(i, frame)
+		if err := ep.SendTo(frame[:k], from); err != nil {
+			return err
+		}
+		runtime.Gosched() // same pacing as ServeUDP, for a fair baseline
+	}
+	return nil
+}
+
+// PreBufferNativeUDP mirrors PreBufferUDP over a raw transport endpoint.
+func PreBufferNativeUDP(ep transport.Datagram, server transport.Addr, prebuffer int64, timeout time.Duration) (time.Duration, int64, error) {
+	if err := ep.SendTo([]byte("PLAY"), server); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	var got int64
+	deadline := start.Add(timeout)
+	for got < prebuffer {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, got, transport.ErrTimeout
+		}
+		p, _, err := ep.Recv(remaining)
+		if err != nil {
+			return 0, got, err
+		}
+		got += int64(len(p))
+	}
+	return time.Since(start), got, nil
+}

@@ -1,0 +1,317 @@
+// Package memreg implements the registered-memory subsystem of the iWARP
+// stack: protection domains, memory regions, steering tags (STags), access
+// rights, and bounds-checked direct placement.
+//
+// In hardware iWARP the RNIC validates every tagged DDP segment against a
+// registered region before DMA-ing the payload into host memory ("the
+// receiving machine enforces the requirement that the requested memory
+// location must be registered with the device as a valid memory region
+// before placing the data"). This package is that validation engine: DDP's
+// tagged placement path resolves an STag here and writes through Region.Place,
+// which enforces protection-domain membership, access rights, and bounds.
+//
+// It also provides the ValidityMap interval algebra that RDMA Write-Record
+// uses to record which byte ranges of a sink buffer hold valid data when
+// segments arrive out of order or are lost (paper §IV.B.3).
+package memreg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Access is the set of rights granted when a region is registered.
+type Access uint8
+
+// Access rights. Remote rights implicitly require the corresponding local
+// right at registration time, as in the verbs specification.
+const (
+	LocalRead Access = 1 << iota
+	LocalWrite
+	RemoteRead
+	RemoteWrite
+)
+
+func (a Access) String() string {
+	if a == 0 {
+		return "none"
+	}
+	s := ""
+	add := func(bit Access, name string) {
+		if a&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(LocalRead, "LOCAL_READ")
+	add(LocalWrite, "LOCAL_WRITE")
+	add(RemoteRead, "REMOTE_READ")
+	add(RemoteWrite, "REMOTE_WRITE")
+	return s
+}
+
+// STag is a steering tag: the wire-visible handle a remote peer uses to name
+// a registered region in tagged (one-sided) operations. The low 8 bits are a
+// key that changes on every registration of the same slot, so stale STags
+// from deregistered regions are detected rather than silently reused.
+type STag uint32
+
+// Index returns the region-table slot encoded in the STag.
+func (s STag) Index() uint32 { return uint32(s) >> 8 }
+
+// Key returns the per-registration key byte.
+func (s STag) Key() uint8 { return uint8(s) }
+
+// Errors returned by the registration and placement paths. These correspond
+// to the DDP/RDMAP error classes that a hardware RNIC would raise in a
+// Terminate message (invalid STag, base/bounds violation, access violation,
+// PD mismatch).
+var (
+	ErrInvalidSTag     = errors.New("memreg: invalid or stale STag")
+	ErrBounds          = errors.New("memreg: base/bounds violation")
+	ErrAccess          = errors.New("memreg: access rights violation")
+	ErrPDMismatch      = errors.New("memreg: protection domain mismatch")
+	ErrRegionSize      = errors.New("memreg: region must be non-empty")
+	ErrInvalidatedSTag = errors.New("memreg: STag has been invalidated")
+)
+
+var pdSeq struct {
+	sync.Mutex
+	next uint32
+}
+
+// PD is a protection domain. Regions and queue pairs created in different
+// domains cannot be used together; the check happens on every placement.
+type PD struct {
+	id uint32
+}
+
+// NewPD allocates a fresh protection domain.
+func NewPD() *PD {
+	pdSeq.Lock()
+	pdSeq.next++
+	id := pdSeq.next
+	pdSeq.Unlock()
+	return &PD{id: id}
+}
+
+// ID returns the domain's unique identifier.
+func (p *PD) ID() uint32 { return p.id }
+
+func (p *PD) String() string { return fmt.Sprintf("pd#%d", p.id) }
+
+// Region is a registered memory region: a byte buffer pinned for direct
+// placement, its STag, its access rights, and — for Write-Record sinks — a
+// validity map of the ranges that have been written.
+type Region struct {
+	mu    sync.Mutex
+	buf   []byte
+	stag  STag
+	pd    *PD
+	acc   Access
+	valid bool
+	vmap  ValidityMap
+}
+
+// STag returns the region's steering tag.
+func (r *Region) STag() STag { return r.stag }
+
+// Len returns the registered length in bytes.
+func (r *Region) Len() int { return len(r.buf) }
+
+// Access returns the rights granted at registration.
+func (r *Region) Access() Access { return r.acc }
+
+// PD returns the protection domain the region belongs to.
+func (r *Region) PD() *PD { return r.pd }
+
+// Bytes returns the underlying buffer. The caller owns synchronisation with
+// concurrent remote placements, exactly as an application using RDMA must.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// Place writes data at offset to within the region on behalf of a peer in
+// protection domain pd holding rights need (RemoteWrite for tagged writes,
+// LocalWrite for receive-side placement of untagged messages, with pd == the
+// local QP's domain). It enforces validity, domain, rights, and bounds, and
+// is safe for concurrent use.
+func (r *Region) Place(pd *PD, need Access, to uint64, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.valid {
+		return ErrInvalidatedSTag
+	}
+	if r.pd != pd {
+		return ErrPDMismatch
+	}
+	if r.acc&need != need {
+		return ErrAccess
+	}
+	end := to + uint64(len(data))
+	if to > uint64(len(r.buf)) || end > uint64(len(r.buf)) || end < to {
+		return fmt.Errorf("%w: [%d,%d) outside region of %d bytes", ErrBounds, to, end, len(r.buf))
+	}
+	copy(r.buf[to:end], data)
+	return nil
+}
+
+// Read copies len(dst) bytes starting at offset to into dst on behalf of a
+// peer with rights need (RemoteRead for RDMA Read sources).
+func (r *Region) Read(pd *PD, need Access, to uint64, dst []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.valid {
+		return ErrInvalidatedSTag
+	}
+	if r.pd != pd {
+		return ErrPDMismatch
+	}
+	if r.acc&need != need {
+		return ErrAccess
+	}
+	end := to + uint64(len(dst))
+	if to > uint64(len(r.buf)) || end > uint64(len(r.buf)) || end < to {
+		return fmt.Errorf("%w: [%d,%d) outside region of %d bytes", ErrBounds, to, end, len(r.buf))
+	}
+	copy(dst, r.buf[to:end])
+	return nil
+}
+
+// Record adds [to, to+n) to the region's validity map. Write-Record target
+// processing calls this after each successful placement.
+func (r *Region) Record(to uint64, n int) {
+	r.mu.Lock()
+	r.vmap.Add(to, uint64(n))
+	r.mu.Unlock()
+}
+
+// Validity returns a snapshot of the region's validity map and leaves the
+// live map untouched.
+func (r *Region) Validity() ValidityMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vmap.Clone()
+}
+
+// ResetValidity clears the validity map, typically after the application has
+// consumed a completed Write-Record message.
+func (r *Region) ResetValidity() {
+	r.mu.Lock()
+	r.vmap = ValidityMap{}
+	r.mu.Unlock()
+}
+
+// Table maps STags to regions for one node. A hardware RNIC keeps this in
+// adapter memory; its size is exactly the per-connection state the paper's
+// scalability argument is about.
+type Table struct {
+	mu    sync.Mutex
+	slots []*Region
+	free  []uint32
+	key   uint8
+}
+
+// NewTable returns an empty region table.
+func NewTable() *Table { return &Table{} }
+
+// Register pins buf as a new memory region in domain pd with rights acc and
+// returns it. Remote rights imply the matching local right.
+func (t *Table) Register(pd *PD, buf []byte, acc Access) (*Region, error) {
+	if len(buf) == 0 {
+		return nil, ErrRegionSize
+	}
+	if acc&RemoteWrite != 0 {
+		acc |= LocalWrite
+	}
+	if acc&RemoteRead != 0 {
+		acc |= LocalRead
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var idx uint32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		idx = uint32(len(t.slots))
+		t.slots = append(t.slots, nil)
+	}
+	t.key++
+	if t.key == 0 {
+		t.key = 1
+	}
+	r := &Region{
+		buf:   buf,
+		stag:  STag(idx<<8 | uint32(t.key)),
+		pd:    pd,
+		acc:   acc,
+		valid: true,
+	}
+	t.slots[idx] = r
+	return r, nil
+}
+
+// Lookup resolves an STag to its region, failing on stale or unknown tags.
+func (t *Table) Lookup(s STag) (*Region, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := s.Index()
+	if idx >= uint32(len(t.slots)) || t.slots[idx] == nil || t.slots[idx].stag != s {
+		return nil, fmt.Errorf("%w: %#x", ErrInvalidSTag, uint32(s))
+	}
+	return t.slots[idx], nil
+}
+
+// Deregister unpins the region named by s. Subsequent placements through the
+// STag fail with ErrInvalidSTag (table miss) or ErrInvalidatedSTag (held
+// region pointer).
+func (t *Table) Deregister(s STag) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := s.Index()
+	if idx >= uint32(len(t.slots)) || t.slots[idx] == nil || t.slots[idx].stag != s {
+		return fmt.Errorf("%w: %#x", ErrInvalidSTag, uint32(s))
+	}
+	r := t.slots[idx]
+	r.mu.Lock()
+	r.valid = false
+	r.mu.Unlock()
+	t.slots[idx] = nil
+	t.free = append(t.free, idx)
+	return nil
+}
+
+// Count returns the number of live registrations.
+func (t *Table) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.slots {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Footprint estimates the bytes of pinned buffer memory plus table state the
+// node currently dedicates to registrations, the quantity behind the paper's
+// memory-scalability results.
+func (t *Table) Footprint() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, r := range t.slots {
+		if r != nil {
+			total += int64(len(r.buf)) + regionOverhead
+		}
+	}
+	total += int64(len(t.slots)) * 8
+	return total
+}
+
+// regionOverhead approximates the per-region bookkeeping an RNIC/driver
+// keeps (address, length, rights, PD, key — one TPT entry).
+const regionOverhead = 64

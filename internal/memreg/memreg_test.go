@@ -1,0 +1,247 @@
+package memreg
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newRegion(t *testing.T, tbl *Table, pd *PD, n int, acc Access) *Region {
+	t.Helper()
+	r, err := tbl.Register(pd, make([]byte, n), acc)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return r
+}
+
+func TestRegisterLookupDeregister(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 128, LocalWrite|RemoteWrite)
+	if r.Len() != 128 || r.PD() != pd {
+		t.Fatal("region metadata wrong")
+	}
+	got, err := tbl.Lookup(r.STag())
+	if err != nil || got != r {
+		t.Fatalf("Lookup: %v %v", got, err)
+	}
+	if tbl.Count() != 1 {
+		t.Fatalf("Count = %d", tbl.Count())
+	}
+	if err := tbl.Deregister(r.STag()); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if _, err := tbl.Lookup(r.STag()); !errors.Is(err, ErrInvalidSTag) {
+		t.Fatalf("stale lookup err = %v", err)
+	}
+	if err := tbl.Deregister(r.STag()); !errors.Is(err, ErrInvalidSTag) {
+		t.Fatalf("double deregister err = %v", err)
+	}
+	if tbl.Count() != 0 {
+		t.Fatalf("Count = %d", tbl.Count())
+	}
+}
+
+func TestRegisterEmptyFails(t *testing.T) {
+	if _, err := NewTable().Register(NewPD(), nil, LocalRead); !errors.Is(err, ErrRegionSize) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaleSTagKeyRotation(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r1 := newRegion(t, tbl, pd, 8, LocalWrite)
+	old := r1.STag()
+	if err := tbl.Deregister(old); err != nil {
+		t.Fatal(err)
+	}
+	// New registration reuses the slot but must get a different key.
+	r2 := newRegion(t, tbl, pd, 8, LocalWrite)
+	if r2.STag() == old {
+		t.Fatalf("slot reuse produced identical STag %#x", uint32(old))
+	}
+	if r2.STag().Index() != old.Index() {
+		t.Fatalf("expected slot reuse: idx %d vs %d", r2.STag().Index(), old.Index())
+	}
+	if _, err := tbl.Lookup(old); !errors.Is(err, ErrInvalidSTag) {
+		t.Fatalf("stale STag resolved: %v", err)
+	}
+}
+
+func TestPlaceHappyPath(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 16, RemoteWrite)
+	if err := r.Place(pd, RemoteWrite, 4, []byte("abcd")); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if !bytes.Equal(r.Bytes()[4:8], []byte("abcd")) {
+		t.Fatalf("buffer = %q", r.Bytes())
+	}
+}
+
+func TestPlaceEnforcesBounds(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 16, RemoteWrite)
+	cases := []struct {
+		to uint64
+		n  int
+	}{
+		{14, 4},             // straddles the end
+		{16, 1},             // starts at end
+		{^uint64(0) - 1, 4}, // offset overflow
+		{1 << 40, 1},        // far out of range
+	}
+	for i, c := range cases {
+		err := r.Place(pd, RemoteWrite, c.to, make([]byte, c.n))
+		if !errors.Is(err, ErrBounds) {
+			t.Errorf("case %d: err = %v, want ErrBounds", i, err)
+		}
+	}
+	// Zero-length at exactly the end is legal (no bytes touched).
+	if err := r.Place(pd, RemoteWrite, 16, nil); err != nil {
+		t.Errorf("zero-length place at end: %v", err)
+	}
+}
+
+func TestPlaceEnforcesAccess(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 16, LocalRead) // no write rights at all
+	if err := r.Place(pd, RemoteWrite, 0, []byte("x")); !errors.Is(err, ErrAccess) {
+		t.Fatalf("err = %v, want ErrAccess", err)
+	}
+	if err := r.Read(pd, RemoteRead, 0, make([]byte, 1)); !errors.Is(err, ErrAccess) {
+		t.Fatalf("read err = %v, want ErrAccess", err)
+	}
+}
+
+func TestPlaceEnforcesPD(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	other := NewPD()
+	r := newRegion(t, tbl, pd, 16, RemoteWrite)
+	if err := r.Place(other, RemoteWrite, 0, []byte("x")); !errors.Is(err, ErrPDMismatch) {
+		t.Fatalf("err = %v, want ErrPDMismatch", err)
+	}
+}
+
+func TestPlaceOnInvalidatedRegion(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 16, RemoteWrite)
+	if err := tbl.Deregister(r.STag()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Place(pd, RemoteWrite, 0, []byte("x")); !errors.Is(err, ErrInvalidatedSTag) {
+		t.Fatalf("err = %v, want ErrInvalidatedSTag", err)
+	}
+}
+
+func TestRemoteRightsImplyLocal(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 8, RemoteWrite|RemoteRead)
+	if r.Access()&LocalWrite == 0 || r.Access()&LocalRead == 0 {
+		t.Fatalf("Access = %v, remote rights must imply local", r.Access())
+	}
+}
+
+func TestReadHappyPath(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 8, RemoteRead)
+	copy(r.Bytes(), "abcdefgh")
+	dst := make([]byte, 4)
+	if err := r.Read(pd, RemoteRead, 2, dst); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(dst) != "cdef" {
+		t.Fatalf("dst = %q", dst)
+	}
+}
+
+func TestRecordAndValidity(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	r := newRegion(t, tbl, pd, 64, RemoteWrite)
+	r.Record(0, 16)
+	r.Record(32, 16)
+	v := r.Validity()
+	if v.Covered() != 32 {
+		t.Fatalf("Covered = %d", v.Covered())
+	}
+	// Snapshot must be independent of later records.
+	r.Record(16, 16)
+	if v.Covered() != 32 {
+		t.Fatal("snapshot mutated by later Record")
+	}
+	got := r.Validity()
+	if !got.Contains(0, 48) {
+		t.Fatalf("validity = %v", got.String())
+	}
+	r.ResetValidity()
+	after := r.Validity()
+	if after.Covered() != 0 {
+		t.Fatal("ResetValidity did not clear")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	if tbl.Footprint() != 0 {
+		t.Fatalf("empty footprint = %d", tbl.Footprint())
+	}
+	newRegion(t, tbl, pd, 1000, LocalWrite)
+	fp := tbl.Footprint()
+	if fp < 1000 {
+		t.Fatalf("footprint %d should include buffer bytes", fp)
+	}
+}
+
+func TestConcurrentRegisterPlace(t *testing.T) {
+	tbl := NewTable()
+	pd := NewPD()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r, err := tbl.Register(pd, make([]byte, 32), RemoteWrite)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Place(pd, RemoteWrite, 0, []byte("data")); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Record(0, 4)
+				if err := tbl.Deregister(r.STag()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tbl.Count() != 0 {
+		t.Fatalf("Count = %d after churn", tbl.Count())
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if Access(0).String() != "none" {
+		t.Fatal("zero access string")
+	}
+	got := (LocalRead | RemoteWrite).String()
+	if got != "LOCAL_READ|REMOTE_WRITE" {
+		t.Fatalf("got %q", got)
+	}
+}

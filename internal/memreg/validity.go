@@ -1,0 +1,139 @@
+package memreg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open byte range [Off, Off+Len) within a sink buffer.
+type Interval struct {
+	Off uint64
+	Len uint64
+}
+
+// End returns the exclusive upper bound of the interval.
+func (iv Interval) End() uint64 { return iv.Off + iv.Len }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Off, iv.End()) }
+
+// ValidityMap records which byte ranges of a tagged sink buffer hold valid
+// data. It is the receive-side log behind RDMA Write-Record: each placed
+// segment adds its range; the application later reads the aggregate to learn
+// "the valid memory areas that have been written" (paper §IV.B.4), skipping
+// holes left by lost datagrams.
+//
+// Invariants: intervals are sorted by offset, non-empty, and maximally
+// coalesced (no two intervals touch or overlap). The zero value is an empty
+// map ready for use.
+type ValidityMap struct {
+	ivs []Interval
+}
+
+// Add records [off, off+n) as valid, merging with adjacent or overlapping
+// ranges. Adding an empty range is a no-op.
+func (m *ValidityMap) Add(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	end := off + n
+	// Find the first interval whose end reaches our start; everything before
+	// it is untouched.
+	i := sort.Search(len(m.ivs), func(k int) bool { return m.ivs[k].End() >= off })
+	// Find the first interval that starts after our end; everything from
+	// there on is untouched. Intervals [i, j) merge with the new range.
+	j := i
+	for j < len(m.ivs) && m.ivs[j].Off <= end {
+		j++
+	}
+	if i < j {
+		if m.ivs[i].Off < off {
+			off = m.ivs[i].Off
+		}
+		if e := m.ivs[j-1].End(); e > end {
+			end = e
+		}
+	}
+	merged := Interval{Off: off, Len: end - off}
+	m.ivs = append(m.ivs[:i], append([]Interval{merged}, m.ivs[j:]...)...)
+}
+
+// AddInterval records iv as valid.
+func (m *ValidityMap) AddInterval(iv Interval) { m.Add(iv.Off, iv.Len) }
+
+// Covered returns the total number of valid bytes.
+func (m *ValidityMap) Covered() uint64 {
+	var total uint64
+	for _, iv := range m.ivs {
+		total += iv.Len
+	}
+	return total
+}
+
+// Contains reports whether every byte of [off, off+n) is valid. The empty
+// range is always contained.
+func (m *ValidityMap) Contains(off, n uint64) bool {
+	if n == 0 {
+		return true
+	}
+	end := off + n
+	i := sort.Search(len(m.ivs), func(k int) bool { return m.ivs[k].End() > off })
+	return i < len(m.ivs) && m.ivs[i].Off <= off && m.ivs[i].End() >= end
+}
+
+// Complete reports whether [0, total) is fully valid.
+func (m *ValidityMap) Complete(total uint64) bool {
+	if total == 0 {
+		return true
+	}
+	return len(m.ivs) == 1 && m.ivs[0].Off == 0 && m.ivs[0].Len >= total
+}
+
+// Intervals returns the coalesced valid ranges in ascending order. The
+// returned slice aliases internal storage; callers must not modify it.
+func (m *ValidityMap) Intervals() []Interval { return m.ivs }
+
+// Holes returns the invalid ranges within [0, total): the gaps a lossy
+// transport left in the message.
+func (m *ValidityMap) Holes(total uint64) []Interval {
+	var holes []Interval
+	var pos uint64
+	for _, iv := range m.ivs {
+		if iv.Off >= total {
+			break
+		}
+		if iv.Off > pos {
+			holes = append(holes, Interval{Off: pos, Len: iv.Off - pos})
+		}
+		if e := iv.End(); e > pos {
+			pos = e
+		}
+	}
+	if pos < total {
+		holes = append(holes, Interval{Off: pos, Len: total - pos})
+	}
+	return holes
+}
+
+// Clone returns an independent copy of the map.
+func (m *ValidityMap) Clone() ValidityMap {
+	out := ValidityMap{}
+	if len(m.ivs) > 0 {
+		out.ivs = append([]Interval(nil), m.ivs...)
+	}
+	return out
+}
+
+// Reset discards all recorded ranges.
+func (m *ValidityMap) Reset() { m.ivs = m.ivs[:0] }
+
+func (m *ValidityMap) String() string {
+	if len(m.ivs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(m.ivs))
+	for i, iv := range m.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

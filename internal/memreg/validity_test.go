@@ -1,0 +1,257 @@
+package memreg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ivs(m *ValidityMap) []Interval { return m.Intervals() }
+
+func TestValidityAddDisjoint(t *testing.T) {
+	var m ValidityMap
+	m.Add(10, 5)
+	m.Add(20, 5)
+	m.Add(0, 5)
+	got := ivs(&m)
+	want := []Interval{{0, 5}, {10, 5}, {20, 5}}
+	if len(got) != 3 {
+		t.Fatalf("intervals = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", got, want)
+		}
+	}
+	if m.Covered() != 15 {
+		t.Fatalf("Covered = %d", m.Covered())
+	}
+}
+
+func TestValidityMergeAdjacent(t *testing.T) {
+	var m ValidityMap
+	m.Add(0, 5)
+	m.Add(5, 5)
+	if got := ivs(&m); len(got) != 1 || got[0] != (Interval{0, 10}) {
+		t.Fatalf("intervals = %v", got)
+	}
+}
+
+func TestValidityMergeOverlapping(t *testing.T) {
+	var m ValidityMap
+	m.Add(0, 10)
+	m.Add(5, 10)
+	m.Add(3, 2) // fully inside
+	if got := ivs(&m); len(got) != 1 || got[0] != (Interval{0, 15}) {
+		t.Fatalf("intervals = %v", got)
+	}
+}
+
+func TestValidityBridgeMerge(t *testing.T) {
+	var m ValidityMap
+	m.Add(0, 5)
+	m.Add(10, 5)
+	m.Add(4, 7) // bridges both
+	if got := ivs(&m); len(got) != 1 || got[0] != (Interval{0, 15}) {
+		t.Fatalf("intervals = %v", got)
+	}
+}
+
+func TestValidityAddEmptyNoop(t *testing.T) {
+	var m ValidityMap
+	m.Add(5, 0)
+	if len(ivs(&m)) != 0 {
+		t.Fatal("empty add must not create intervals")
+	}
+}
+
+func TestValidityContains(t *testing.T) {
+	var m ValidityMap
+	m.Add(10, 10)
+	cases := []struct {
+		off, n uint64
+		want   bool
+	}{
+		{10, 10, true},
+		{12, 5, true},
+		{10, 0, true},
+		{0, 0, true},
+		{9, 2, false},
+		{19, 2, false},
+		{0, 5, false},
+		{25, 1, false},
+	}
+	for i, c := range cases {
+		if got := m.Contains(c.off, c.n); got != c.want {
+			t.Errorf("case %d: Contains(%d,%d) = %v, want %v", i, c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestValidityComplete(t *testing.T) {
+	var m ValidityMap
+	if !m.Complete(0) {
+		t.Fatal("empty map must be complete for total 0")
+	}
+	m.Add(0, 5)
+	m.Add(6, 4)
+	if m.Complete(10) {
+		t.Fatal("map with hole reported complete")
+	}
+	m.Add(5, 1)
+	if !m.Complete(10) {
+		t.Fatal("full map reported incomplete")
+	}
+	if m.Complete(11) {
+		t.Fatal("short map reported complete")
+	}
+}
+
+func TestValidityHoles(t *testing.T) {
+	var m ValidityMap
+	m.Add(5, 5)
+	m.Add(15, 5)
+	holes := m.Holes(25)
+	want := []Interval{{0, 5}, {10, 5}, {20, 5}}
+	if len(holes) != len(want) {
+		t.Fatalf("Holes = %v", holes)
+	}
+	for i := range want {
+		if holes[i] != want[i] {
+			t.Fatalf("Holes = %v, want %v", holes, want)
+		}
+	}
+	if h := (&ValidityMap{}).Holes(7); len(h) != 1 || h[0] != (Interval{0, 7}) {
+		t.Fatalf("empty-map holes = %v", h)
+	}
+	// Interval extending beyond total: no trailing hole.
+	var m2 ValidityMap
+	m2.Add(0, 100)
+	if h := m2.Holes(50); len(h) != 0 {
+		t.Fatalf("holes = %v, want none", h)
+	}
+}
+
+func TestValidityCloneIndependent(t *testing.T) {
+	var m ValidityMap
+	m.Add(0, 5)
+	c := m.Clone()
+	m.Add(5, 5)
+	if c.Covered() != 5 {
+		t.Fatalf("clone changed: %v", c.String())
+	}
+	if m.Covered() != 10 {
+		t.Fatalf("original wrong: %v", m.String())
+	}
+}
+
+func TestValidityString(t *testing.T) {
+	var m ValidityMap
+	if m.String() != "{}" {
+		t.Fatalf("empty = %q", m.String())
+	}
+	m.Add(0, 3)
+	m.Add(7, 1)
+	if m.String() != "{[0,3) [7,8)}" {
+		t.Fatalf("got %q", m.String())
+	}
+}
+
+// reference model: a boolean slice.
+type refMap []bool
+
+func (r refMap) add(off, n int) {
+	for i := off; i < off+n && i < len(r); i++ {
+		r[i] = true
+	}
+}
+
+func (r refMap) covered() uint64 {
+	var c uint64
+	for _, b := range r {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Property: ValidityMap agrees with a bitmap model under random adds, and
+// its invariants (sorted, disjoint, coalesced) hold throughout.
+func TestValidityMatchesModelQuick(t *testing.T) {
+	const space = 256
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m ValidityMap
+		ref := make(refMap, space)
+		for range int(ops%40) + 1 {
+			off := rng.Intn(space)
+			n := rng.Intn(space - off)
+			m.Add(uint64(off), uint64(n))
+			ref.add(off, n)
+		}
+		if m.Covered() != ref.covered() {
+			return false
+		}
+		// Invariants.
+		prevEnd := uint64(0)
+		for i, iv := range m.Intervals() {
+			if iv.Len == 0 {
+				return false
+			}
+			if i > 0 && iv.Off <= prevEnd {
+				return false // must be disjoint and non-touching
+			}
+			prevEnd = iv.End()
+		}
+		// Spot-check Contains against the model.
+		for range 16 {
+			off := rng.Intn(space)
+			n := rng.Intn(space - off)
+			want := true
+			for i := off; i < off+n; i++ {
+				if !ref[i] {
+					want = false
+					break
+				}
+			}
+			if m.Contains(uint64(off), uint64(n)) != want {
+				return false
+			}
+		}
+		// Holes ∪ intervals must tile [0, space).
+		var total uint64
+		for _, h := range m.Holes(space) {
+			total += h.Len
+		}
+		return total+m.Covered() == space
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is order-independent (the map is a join-semilattice).
+func TestValidityOrderIndependentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			off := rng.Intn(200)
+			ivs[i] = Interval{uint64(off), uint64(rng.Intn(200 - off))}
+		}
+		var a, b ValidityMap
+		for _, iv := range ivs {
+			a.AddInterval(iv)
+		}
+		perm := rng.Perm(n)
+		for _, k := range perm {
+			b.AddInterval(ivs[k])
+		}
+		return a.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

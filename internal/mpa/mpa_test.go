@@ -1,0 +1,344 @@
+package mpa
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nio"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// streamPair returns two connected simnet streams.
+func streamPair(t *testing.T) (transport.Stream, transport.Stream) {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	l, err := n.Listen("srv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan transport.Stream, 1)
+	go func() {
+		s, err := l.Accept()
+		if err == nil {
+			accepted <- s
+		}
+	}()
+	c, err := n.Dial("cli", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-accepted
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func connPair(t *testing.T, cfg Config) (*Conn, *Conn) {
+	t.Helper()
+	c, s := streamPair(t)
+	return NewConn(c, cfg), NewConn(s, cfg)
+}
+
+func TestSendRecvSmall(t *testing.T) {
+	a, b := connPair(t, Config{})
+	msg := []byte("ulpdu payload")
+	done := make(chan error, 1)
+	go func() { done <- a.Send(nio.VecOf(msg)) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvManySizes(t *testing.T) {
+	for _, cfg := range []Config{
+		{},                                     // markers + CRC (standard RC)
+		{MarkerInterval: -1},                   // no markers
+		{DisableCRC: true},                     // no CRC
+		{MarkerInterval: -1, DisableCRC: true}, // bare framing
+		{MarkerInterval: 128},                  // dense markers
+	} {
+		a, b := connPair(t, cfg)
+		rng := rand.New(rand.NewSource(7))
+		var sent [][]byte
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 127, 128, 129, 511, 512, 513, 1000, a.MaxULPDU()} {
+			p := make([]byte, n)
+			rng.Read(p)
+			sent = append(sent, p)
+		}
+		go func() {
+			for _, p := range sent {
+				if err := a.Send(nio.VecOf(p)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+		for i, want := range sent {
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatalf("cfg %+v msg %d: %v", cfg, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cfg %+v msg %d: %d bytes vs %d", cfg, i, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSendGatherVector(t *testing.T) {
+	a, b := connPair(t, Config{})
+	go func() {
+		if err := a.Send(nio.VecOf([]byte("hea"), []byte("der+"), []byte("payload"))); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hea"+"der+"+"payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSendTooLong(t *testing.T) {
+	a, _ := connPair(t, Config{})
+	err := a.Send(nio.VecOf(make([]byte, a.MaxULPDU()+1)))
+	if !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// corruptingStream flips one byte of the k-th write.
+type corruptingStream struct {
+	transport.Stream
+	writes int
+	target int
+}
+
+func (cs *corruptingStream) Write(p []byte) (int, error) {
+	cs.writes++
+	if cs.writes == cs.target && len(p) > 10 {
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0xFF
+		return cs.Stream.Write(q)
+	}
+	return cs.Stream.Write(p)
+}
+
+func TestRecvDetectsCorruption(t *testing.T) {
+	c, s := streamPair(t)
+	// MPA sends one Write per FPDU: corrupt the first.
+	a := NewConn(&corruptingStream{Stream: c, target: 1}, Config{})
+	b := NewConn(s, Config{})
+	go a.Send(nio.VecOf(bytes.Repeat([]byte("x"), 600)))
+	if _, err := b.Recv(); !errors.Is(err, ErrCRC) {
+		t.Fatalf("err = %v, want ErrCRC", err)
+	}
+}
+
+func TestCorruptionUndetectedWithoutCRC(t *testing.T) {
+	c, s := streamPair(t)
+	cfg := Config{DisableCRC: true}
+	a := NewConn(&corruptingStream{Stream: c, target: 1}, cfg)
+	b := NewConn(s, cfg)
+	go a.Send(nio.VecOf(bytes.Repeat([]byte("x"), 600)))
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, bytes.Repeat([]byte("x"), 600)) {
+		t.Fatal("corruption did not occur")
+	}
+}
+
+// Property: any sequence of random ULPDUs survives mark ∘ unmark framing
+// regardless of marker phase.
+func TestFramingRoundTripQuick(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		c, s := streamPairQuick()
+		defer c.Close()
+		defer s.Close()
+		a := NewConn(c, Config{MarkerInterval: 64})
+		b := NewConn(s, Config{MarkerInterval: 64})
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%20) + 1
+		msgs := make([][]byte, n)
+		for i := range msgs {
+			msgs[i] = make([]byte, rng.Intn(1400))
+			rng.Read(msgs[i])
+		}
+		errc := make(chan error, 1)
+		go func() {
+			for _, m := range msgs {
+				if err := a.Send(nio.VecOf(m)); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+		for _, want := range msgs {
+			got, err := b.Recv()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return <-errc == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// streamPairQuick builds a pair without a *testing.T for quick.Check.
+func streamPairQuick() (transport.Stream, transport.Stream) {
+	n := simnet.New(simnet.Config{})
+	l, _ := n.Listen("srv", 0)
+	ch := make(chan transport.Stream, 1)
+	go func() {
+		s, err := l.Accept()
+		if err == nil {
+			ch <- s
+		}
+	}()
+	c, _ := n.Dial("cli", l.Addr())
+	return c, <-ch
+}
+
+func TestNegotiation(t *testing.T) {
+	c, s := streamPair(t)
+	type result struct {
+		conn *Conn
+		priv []byte
+		err  error
+	}
+	rch := make(chan result, 1)
+	go func() {
+		conn, priv, err := Accept(s, Config{}, []byte("server-hello"))
+		rch <- result{conn, priv, err}
+	}()
+	cc, priv, err := Connect(c, Config{}, []byte("client-hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(priv) != "server-hello" {
+		t.Fatalf("client saw private data %q", priv)
+	}
+	r := <-rch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if string(r.priv) != "client-hello" {
+		t.Fatalf("server saw private data %q", r.priv)
+	}
+	// Framed traffic flows after negotiation.
+	go cc.Send(nio.VecOf([]byte("post-nego")))
+	got, err := r.conn.Recv()
+	if err != nil || string(got) != "post-nego" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestNegotiationFeatureAND(t *testing.T) {
+	c, s := streamPair(t)
+	rch := make(chan *Conn, 1)
+	go func() {
+		// Responder refuses markers and CRC.
+		conn, _, err := Accept(s, Config{MarkerInterval: -1, DisableCRC: true}, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rch <- conn
+	}()
+	cc, _, err := Connect(c, Config{}, nil) // initiator wants both
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := <-rch
+	if cc.cfg.MarkerInterval != 0 || !cc.cfg.DisableCRC {
+		t.Fatalf("initiator cfg not downgraded: %+v", cc.cfg)
+	}
+	if sc.cfg.MarkerInterval != 0 || !sc.cfg.DisableCRC {
+		t.Fatalf("responder cfg wrong: %+v", sc.cfg)
+	}
+	go cc.Send(nio.VecOf([]byte("bare")))
+	if got, err := sc.Recv(); err != nil || string(got) != "bare" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestNegotiationReject(t *testing.T) {
+	c, s := streamPair(t)
+	go Reject(s, []byte("no thanks"))
+	_, priv, err := Connect(c, Config{}, nil)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(priv) != "no thanks" {
+		t.Fatalf("private data %q", priv)
+	}
+}
+
+func TestNegotiationGarbage(t *testing.T) {
+	c, s := streamPair(t)
+	go c.Write([]byte("GARBAGE___GARBAGE___"))
+	_, _, err := Accept(s, Config{}, nil)
+	if !errors.Is(err, ErrBadReqRep) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarkerOverheadCounted(t *testing.T) {
+	// With interval 64, a 600-byte FPDU crosses ≥ 9 marker positions; the
+	// stream must carry strictly more bytes than the unmarked FPDU.
+	n := simnet.New(simnet.Config{})
+	l, _ := n.Listen("srv", 0)
+	ch := make(chan transport.Stream, 1)
+	go func() {
+		st, err := l.Accept()
+		if err == nil {
+			ch <- st
+		}
+	}()
+	c, _ := n.Dial("cli", l.Addr())
+	srv := <-ch
+	counted := &countingStream{Stream: c}
+	a := NewConn(counted, Config{MarkerInterval: 64})
+	b := NewConn(srv, Config{MarkerInterval: 64})
+	payload := make([]byte, 600)
+	sent := make(chan error, 1)
+	go func() { sent <- a.Send(nio.VecOf(payload)) }()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sent; err != nil {
+		t.Fatal(err)
+	}
+	unmarked := 2 + 600 + 2 /*pad*/ + 4 /*crc*/
+	if counted.n <= unmarked {
+		t.Fatalf("stream carried %d bytes, expected > %d (markers missing?)", counted.n, unmarked)
+	}
+}
+
+type countingStream struct {
+	transport.Stream
+	n int
+}
+
+func (cs *countingStream) Write(p []byte) (int, error) {
+	n, err := cs.Stream.Write(p)
+	cs.n += n
+	return n, err
+}

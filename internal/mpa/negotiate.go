@@ -1,0 +1,133 @@
+package mpa
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/nio"
+	"repro/internal/transport"
+)
+
+// MPA connection setup: before FPDU traffic starts, initiator and responder
+// exchange Request and Reply frames that carry the protocol revision, the
+// marker (M) and CRC (C) flags, and optional ULP private data. Both sides
+// must end up with identical framing parameters; per the spec, a feature is
+// enabled only if both peers asked for it.
+
+var reqKey = [6]byte{'M', 'P', 'A', ' ', 'I', 'D'} // shortened req/rep key
+
+const (
+	flagMarkers = 1 << 7
+	flagCRC     = 1 << 6
+	flagReject  = 1 << 5
+	mpaRevision = 1
+)
+
+func sendReqRep(s transport.Stream, cfg Config, reject bool, private []byte) error {
+	if len(private) > 512 {
+		return fmt.Errorf("%w: private data %d > 512", ErrBadReqRep, len(private))
+	}
+	var flags byte
+	if cfg.MarkerInterval > 0 {
+		flags |= flagMarkers
+	}
+	if !cfg.DisableCRC {
+		flags |= flagCRC
+	}
+	if reject {
+		flags |= flagReject
+	}
+	frame := make([]byte, 0, len(reqKey)+4+len(private))
+	frame = append(frame, reqKey[:]...)
+	frame = append(frame, flags, mpaRevision)
+	frame = nio.PutU16(frame, uint16(len(private)))
+	frame = append(frame, private...)
+	_, err := s.Write(frame)
+	return err
+}
+
+func recvReqRep(s transport.Stream) (flags byte, private []byte, err error) {
+	hdr := make([]byte, len(reqKey)+4)
+	if _, err := io.ReadFull(s, hdr); err != nil {
+		return 0, nil, err
+	}
+	if !bytes.Equal(hdr[:len(reqKey)], reqKey[:]) {
+		return 0, nil, fmt.Errorf("%w: bad key %q", ErrBadReqRep, hdr[:len(reqKey)])
+	}
+	flags = hdr[len(reqKey)]
+	if rev := hdr[len(reqKey)+1]; rev != mpaRevision {
+		return 0, nil, fmt.Errorf("%w: revision %d", ErrBadReqRep, rev)
+	}
+	n := int(nio.U16(hdr[len(reqKey)+2:]))
+	if n > 512 {
+		return 0, nil, fmt.Errorf("%w: private data %d", ErrBadReqRep, n)
+	}
+	if n > 0 {
+		private = make([]byte, n)
+		if _, err := io.ReadFull(s, private); err != nil {
+			return 0, nil, err
+		}
+	}
+	return flags, private, nil
+}
+
+// merge reconciles the local configuration with the peer's advertised
+// flags: markers and CRC are used only if both sides enabled them. The
+// result may carry the -1 "markers disabled" sentinel, which NewConn's
+// defaulting resolves; merge must not re-default, or a disabled feature
+// would bounce back to its default.
+func merge(cfg Config, peerFlags byte) Config {
+	// cfg arrives already defaulted, so MarkerInterval == 0 means "disabled
+	// locally" here, not "use default".
+	if cfg.MarkerInterval == 0 || peerFlags&flagMarkers == 0 {
+		cfg.MarkerInterval = -1
+	}
+	if peerFlags&flagCRC == 0 {
+		cfg.DisableCRC = true
+	}
+	return cfg
+}
+
+// Connect runs the initiator side of MPA setup on an established stream and
+// returns the framed connection plus the responder's private data.
+func Connect(s transport.Stream, cfg Config, private []byte) (*Conn, []byte, error) {
+	cfg = cfg.withDefaults()
+	if err := sendReqRep(s, cfg, false, private); err != nil {
+		return nil, nil, err
+	}
+	flags, peerPriv, err := recvReqRep(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if flags&flagReject != 0 {
+		return nil, peerPriv, ErrRejected
+	}
+	return NewConn(s, merge(cfg, flags)), peerPriv, nil
+}
+
+// Accept runs the responder side of MPA setup and returns the framed
+// connection plus the initiator's private data.
+func Accept(s transport.Stream, cfg Config, private []byte) (*Conn, []byte, error) {
+	cfg = cfg.withDefaults()
+	flags, peerPriv, err := recvReqRep(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sendReqRep(s, cfg, false, private); err != nil {
+		return nil, nil, err
+	}
+	return NewConn(s, merge(cfg, flags)), peerPriv, nil
+}
+
+// Reject refuses an incoming MPA request, telling the initiator to tear
+// down, and closes the stream.
+func Reject(s transport.Stream, private []byte) error {
+	if _, _, err := recvReqRep(s); err != nil {
+		s.Close()
+		return err
+	}
+	err := sendReqRep(s, Config{}, true, private)
+	s.Close()
+	return err
+}

@@ -1,0 +1,98 @@
+// Package nio provides small I/O building blocks shared by every layer of
+// the datagram-iWARP stack: gather/scatter I/O vectors, reference-counted
+// buffer pools, and byte-order helpers.
+//
+// The software implementation described in the paper "takes advantage of I/O
+// vectors to minimize data copying"; Vec is the Go equivalent used on both
+// the send path (gather) and the placement path (scatter).
+package nio
+
+import "fmt"
+
+// Vec is a gather/scatter I/O vector: an ordered list of byte slices that
+// together form one logical message. The zero value is an empty vector.
+type Vec [][]byte
+
+// VecOf builds a Vec from the given segments without copying.
+func VecOf(segs ...[]byte) Vec { return Vec(segs) }
+
+// Len returns the total number of bytes covered by the vector.
+func (v Vec) Len() int {
+	n := 0
+	for _, s := range v {
+		n += len(s)
+	}
+	return n
+}
+
+// Gather copies the vector's bytes into dst and returns the number copied.
+// dst may be shorter than v.Len(); the copy stops when dst is full.
+func (v Vec) Gather(dst []byte) int {
+	n := 0
+	for _, s := range v {
+		if n == len(dst) {
+			break
+		}
+		n += copy(dst[n:], s)
+	}
+	return n
+}
+
+// Bytes flattens the vector into a single freshly allocated slice.
+// A single-segment vector returns its segment without copying.
+func (v Vec) Bytes() []byte {
+	if len(v) == 1 {
+		return v[0]
+	}
+	out := make([]byte, v.Len())
+	v.Gather(out)
+	return out
+}
+
+// Slice returns a sub-vector covering bytes [off, off+n) of the logical
+// message, sharing the underlying storage. It panics if the range is out of
+// bounds, mirroring Go slice semantics.
+func (v Vec) Slice(off, n int) Vec {
+	if off < 0 || n < 0 || off+n > v.Len() {
+		panic(fmt.Sprintf("nio: Vec.Slice(%d, %d) out of range for length %d", off, n, v.Len()))
+	}
+	var out Vec
+	for _, s := range v {
+		if n == 0 {
+			break
+		}
+		if off >= len(s) {
+			off -= len(s)
+			continue
+		}
+		take := len(s) - off
+		if take > n {
+			take = n
+		}
+		out = append(out, s[off:off+take])
+		off = 0
+		n -= take
+	}
+	return out
+}
+
+// AppendTo appends the vector's bytes to dst and returns the extended slice.
+func (v Vec) AppendTo(dst []byte) []byte {
+	for _, s := range v {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// Scatter copies src across the vector's segments in order, returning the
+// number of bytes copied (min of len(src) and v.Len()).
+func (v Vec) Scatter(src []byte) int {
+	n := 0
+	for _, s := range v {
+		if n == len(src) {
+			break
+		}
+		n += copy(s, src[n:])
+	}
+	return n
+}

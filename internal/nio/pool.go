@@ -1,0 +1,45 @@
+package nio
+
+import "sync"
+
+// Pool hands out fixed-capacity byte buffers and recycles them, bounding the
+// allocation rate of the datapath. It is safe for concurrent use.
+//
+// A Pool models the receive-buffer slab an RNIC would carve out of host
+// memory: Get always returns a zero-length slice with the pool's capacity so
+// stale payload bytes can never leak between messages.
+type Pool struct {
+	size int
+	p    sync.Pool
+}
+
+// NewPool returns a pool of buffers with capacity size bytes.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		panic("nio: NewPool size must be positive")
+	}
+	pl := &Pool{size: size}
+	pl.p.New = func() any {
+		b := make([]byte, 0, size)
+		return &b
+	}
+	return pl
+}
+
+// BufSize reports the capacity of buffers handed out by the pool.
+func (pl *Pool) BufSize() int { return pl.size }
+
+// Get returns an empty buffer with the pool's capacity.
+func (pl *Pool) Get() []byte {
+	return (*pl.p.Get().(*[]byte))[:0]
+}
+
+// Put recycles a buffer previously returned by Get. Buffers of foreign
+// capacity are dropped so the pool's size invariant holds.
+func (pl *Pool) Put(b []byte) {
+	if cap(b) != pl.size {
+		return
+	}
+	b = b[:0]
+	pl.p.Put(&b)
+}

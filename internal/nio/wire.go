@@ -1,0 +1,25 @@
+package nio
+
+import "encoding/binary"
+
+// Wire formats throughout the stack are big-endian ("network order"), as in
+// the RDMA Consortium wire specifications. These helpers keep header
+// marshalling terse and allocation-free.
+
+// PutU16 appends v to b in network order and returns the extended slice.
+func PutU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+
+// PutU32 appends v to b in network order and returns the extended slice.
+func PutU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+// PutU64 appends v to b in network order and returns the extended slice.
+func PutU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// U16 reads a network-order uint16 from the front of b.
+func U16(b []byte) uint16 { return binary.BigEndian.Uint16(b) }
+
+// U32 reads a network-order uint32 from the front of b.
+func U32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+
+// U64 reads a network-order uint64 from the front of b.
+func U64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }

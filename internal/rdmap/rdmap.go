@@ -1,0 +1,190 @@
+// Package rdmap implements the RDMA Protocol layer (Recio et al., RDMA
+// Consortium 2002) plus the paper's datagram extensions: the operation
+// opcodes, the control byte that rides in DDP's reserved octet, the RDMA
+// Read Request wire format, and Terminate messages.
+//
+// RDMAP is deliberately thin — "a relatively lightweight layer" (§II) — so
+// this package is mostly wire formats and semantics constants; the engine
+// that executes operations is internal/core. The one protocol addition over
+// the 2002 specification is OpWriteRecord, the paper's §IV.B.3 contribution:
+// a tagged, truly one-sided write usable over unreliable delivery, completed
+// at the target by recording placements rather than by consuming a receive.
+package rdmap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nio"
+)
+
+// Opcode identifies an RDMAP operation on the wire.
+type Opcode byte
+
+// RDMAP opcodes. Values 0x0–0x6 follow the RDMAP specification;
+// OpWriteRecord is the paper's extension (a previously reserved value).
+const (
+	OpWrite       Opcode = 0x0 // tagged: RDMA Write (RC only)
+	OpReadReq     Opcode = 0x1 // untagged on QN 1: RDMA Read Request
+	OpReadResp    Opcode = 0x2 // tagged: RDMA Read Response
+	OpSend        Opcode = 0x3 // untagged on QN 0: Send
+	OpSendInv     Opcode = 0x4 // Send with Invalidate (unimplemented)
+	OpSendSE      Opcode = 0x5 // Send with Solicited Event
+	OpTerminate   Opcode = 0x6 // untagged on QN 2: Terminate
+	OpWriteRecord Opcode = 0x8 // tagged: RDMA Write-Record (paper §IV.B.3)
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpWrite:
+		return "RDMA_WRITE"
+	case OpReadReq:
+		return "RDMA_READ_REQ"
+	case OpReadResp:
+		return "RDMA_READ_RESP"
+	case OpSend:
+		return "SEND"
+	case OpSendInv:
+		return "SEND_INV"
+	case OpSendSE:
+		return "SEND_SE"
+	case OpTerminate:
+		return "TERMINATE"
+	case OpWriteRecord:
+		return "RDMA_WRITE_RECORD"
+	default:
+		return fmt.Sprintf("OPCODE_%#x", byte(o))
+	}
+}
+
+// Version is the RDMAP protocol version.
+const Version = 1
+
+// Wire errors.
+var (
+	ErrBadVersion = errors.New("rdmap: unsupported version")
+	ErrBadOpcode  = errors.New("rdmap: reserved or unknown opcode")
+	ErrShort      = errors.New("rdmap: message too short")
+)
+
+// Ctrl builds the RDMAP control byte: version in the top two bits, opcode
+// in the low four.
+func Ctrl(op Opcode) byte { return byte(Version)<<6 | byte(op)&0x0f }
+
+// ParseCtrl validates and splits an RDMAP control byte.
+func ParseCtrl(b byte) (Opcode, error) {
+	if b>>6 != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, b>>6)
+	}
+	op := Opcode(b & 0x0f)
+	switch op {
+	case OpWrite, OpReadReq, OpReadResp, OpSend, OpSendSE, OpTerminate, OpWriteRecord:
+		return op, nil
+	default:
+		return 0, fmt.Errorf("%w: %s", ErrBadOpcode, op)
+	}
+}
+
+// ReadReq is the payload of an RDMA Read Request (untagged, QN 1): it names
+// the requester's sink buffer and the responder's source buffer.
+type ReadReq struct {
+	SinkSTag uint32
+	SinkTO   uint64
+	Len      uint32
+	SrcSTag  uint32
+	SrcTO    uint64
+}
+
+// ReadReqLen is the wire length of a Read Request payload.
+const ReadReqLen = 4 + 8 + 4 + 4 + 8
+
+// Append encodes the request onto dst.
+func (r *ReadReq) Append(dst []byte) []byte {
+	dst = nio.PutU32(dst, r.SinkSTag)
+	dst = nio.PutU64(dst, r.SinkTO)
+	dst = nio.PutU32(dst, r.Len)
+	dst = nio.PutU32(dst, r.SrcSTag)
+	dst = nio.PutU64(dst, r.SrcTO)
+	return dst
+}
+
+// ParseReadReq decodes a Read Request payload.
+func ParseReadReq(p []byte) (ReadReq, error) {
+	if len(p) < ReadReqLen {
+		return ReadReq{}, fmt.Errorf("%w: read request %d bytes", ErrShort, len(p))
+	}
+	return ReadReq{
+		SinkSTag: nio.U32(p),
+		SinkTO:   nio.U64(p[4:]),
+		Len:      nio.U32(p[12:]),
+		SrcSTag:  nio.U32(p[16:]),
+		SrcTO:    nio.U64(p[20:]),
+	}, nil
+}
+
+// TermLayer identifies which protocol layer raised a Terminate.
+type TermLayer byte
+
+// Terminate-originating layers.
+const (
+	LayerRDMAP TermLayer = 0
+	LayerDDP   TermLayer = 1
+	LayerLLP   TermLayer = 2
+)
+
+// TermCode classifies a Terminate error.
+type TermCode uint16
+
+// Terminate error codes (condensed from the specification's table).
+const (
+	TermInvalidSTag     TermCode = 0x00
+	TermBaseBounds      TermCode = 0x01
+	TermAccessViolation TermCode = 0x02
+	TermPDMismatch      TermCode = 0x03
+	TermWrapError       TermCode = 0x04
+	TermInvalidVersion  TermCode = 0x05
+	TermInvalidOpcode   TermCode = 0x06
+	TermCatastrophic    TermCode = 0xff
+)
+
+// Terminate is the RDMAP error-report message (untagged, QN 2). In RC mode
+// it precedes connection teardown; in UD mode — per the paper's relaxation
+// of DDP §5 item 8 — errors "are simply reported, but the QP is not forced
+// into the error state".
+type Terminate struct {
+	Layer TermLayer
+	Code  TermCode
+	Info  string // diagnostic text, truncated to 255 bytes on the wire
+}
+
+// Append encodes the Terminate payload onto dst.
+func (t *Terminate) Append(dst []byte) []byte {
+	info := t.Info
+	if len(info) > 255 {
+		info = info[:255]
+	}
+	dst = append(dst, byte(t.Layer))
+	dst = nio.PutU16(dst, uint16(t.Code))
+	dst = append(dst, byte(len(info)))
+	return append(dst, info...)
+}
+
+// ParseTerminate decodes a Terminate payload.
+func ParseTerminate(p []byte) (Terminate, error) {
+	if len(p) < 4 {
+		return Terminate{}, fmt.Errorf("%w: terminate %d bytes", ErrShort, len(p))
+	}
+	n := int(p[3])
+	if len(p) < 4+n {
+		return Terminate{}, fmt.Errorf("%w: terminate info truncated", ErrShort)
+	}
+	return Terminate{
+		Layer: TermLayer(p[0]),
+		Code:  TermCode(nio.U16(p[1:])),
+		Info:  string(p[4 : 4+n]),
+	}, nil
+}
+
+func (t Terminate) Error() string {
+	return fmt.Sprintf("rdmap: terminate layer=%d code=%#x: %s", t.Layer, t.Code, t.Info)
+}

@@ -1,0 +1,116 @@
+package rdmap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCtrlRoundTrip(t *testing.T) {
+	for _, op := range []Opcode{OpWrite, OpReadReq, OpReadResp, OpSend, OpSendSE, OpTerminate, OpWriteRecord} {
+		got, err := ParseCtrl(Ctrl(op))
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if got != op {
+			t.Fatalf("round trip %s -> %s", op, got)
+		}
+	}
+}
+
+func TestParseCtrlRejects(t *testing.T) {
+	if _, err := ParseCtrl(0x00); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	// Correct version, reserved opcode 0x7.
+	if _, err := ParseCtrl(byte(Version)<<6 | 0x7); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("opcode: %v", err)
+	}
+	// OpSendInv is defined but unimplemented: rejected.
+	if _, err := ParseCtrl(Ctrl(OpSendInv)); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("sendinv: %v", err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpWriteRecord.String() != "RDMA_WRITE_RECORD" {
+		t.Fatalf("got %q", OpWriteRecord.String())
+	}
+	if !strings.HasPrefix(Opcode(0xe).String(), "OPCODE_") {
+		t.Fatalf("got %q", Opcode(0xe).String())
+	}
+}
+
+func TestReadReqRoundTrip(t *testing.T) {
+	in := ReadReq{
+		SinkSTag: 0x11223344,
+		SinkTO:   1 << 33,
+		Len:      4096,
+		SrcSTag:  0x55667788,
+		SrcTO:    12345,
+	}
+	wire := in.Append(nil)
+	if len(wire) != ReadReqLen {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	out, err := ParseReadReq(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("%+v vs %+v", out, in)
+	}
+}
+
+func TestReadReqRoundTripQuick(t *testing.T) {
+	f := func(a uint32, b uint64, c, d uint32, e uint64) bool {
+		in := ReadReq{SinkSTag: a, SinkTO: b, Len: c, SrcSTag: d, SrcTO: e}
+		out, err := ParseReadReq(in.Append(nil))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadReqShort(t *testing.T) {
+	if _, err := ParseReadReq(make([]byte, ReadReqLen-1)); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTerminateRoundTrip(t *testing.T) {
+	in := Terminate{Layer: LayerDDP, Code: TermBaseBounds, Info: "offset 9999 beyond region"}
+	out, err := ParseTerminate(in.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("%+v vs %+v", out, in)
+	}
+	if !strings.Contains(out.Error(), "offset 9999") {
+		t.Fatalf("Error() = %q", out.Error())
+	}
+}
+
+func TestTerminateLongInfoTruncated(t *testing.T) {
+	in := Terminate{Layer: LayerRDMAP, Code: TermCatastrophic, Info: strings.Repeat("x", 300)}
+	out, err := ParseTerminate(in.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Info) != 255 {
+		t.Fatalf("info length %d", len(out.Info))
+	}
+}
+
+func TestTerminateShort(t *testing.T) {
+	if _, err := ParseTerminate([]byte{0, 0}); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+	// Declared info longer than the buffer.
+	if _, err := ParseTerminate([]byte{0, 0, 0, 10, 'a'}); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package rudp implements a reliable datagram LLP on top of any unreliable
+// transport.Datagram — the "reliable UDP" option the paper repeatedly
+// invokes: "applications that currently use TCP can also be supported via a
+// reliable UDP implementation that provides the order and reliability
+// guarantees they require" (§IV.B), and "data loss ... can be supplemented
+// by a reliability mechanism (like reliable UDP) for those applications that
+// cannot deal with data loss" (§I).
+//
+// The protocol is deliberately lightweight compared to TCP — the whole point
+// of the paper's RD mode: per-peer sliding windows with selective
+// acknowledgement, fixed-interval retransmission with exponential backoff,
+// exactly-once in-order delivery, and nothing else (no congestion control,
+// no byte-stream semantics, no connection teardown handshake). Message
+// boundaries are preserved, so the DDP layer above needs no MPA markers.
+//
+// Wire format (big-endian):
+//
+//	DATA: | type=1 (1) | resv (1) | seq (4) | payload ... |
+//	ACK:  | type=2 (1) | resv (1) | cumAck (4) | sack bitmap (4) |
+//
+// cumAck acknowledges every DATA with seq ≤ cumAck; sack bit i acknowledges
+// seq cumAck+1+i, letting the sender skip retransmitting packets that
+// arrived out of order.
+package rudp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/nio"
+	"repro/internal/transport"
+)
+
+const (
+	typeData = 1
+	typeAck  = 2
+
+	headerLen    = 6
+	ackLen       = 10
+	windowSize   = 64
+	maxRetries   = 12
+	initialRTO   = 10 * time.Millisecond
+	maxRTO       = 200 * time.Millisecond
+	tickInterval = 2 * time.Millisecond
+)
+
+// ErrPeerDead reports that a peer stopped acknowledging after maxRetries
+// retransmissions of some packet.
+var ErrPeerDead = errors.New("rudp: peer unreachable (retries exhausted)")
+
+// Endpoint is a reliable datagram endpoint. It implements
+// transport.Datagram, delivering every message exactly once and in per-peer
+// order, so it can be slotted under the iWARP stack wherever a raw UDP
+// endpoint can.
+type Endpoint struct {
+	inner transport.Datagram
+
+	mu     sync.Mutex
+	peers  map[transport.Addr]*peerState
+	closed bool
+	fatal  error
+
+	inbox chan message
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type message struct {
+	payload []byte
+	from    transport.Addr
+}
+
+// peerState tracks one remote endpoint's send and receive windows.
+type peerState struct {
+	// Send side.
+	nextSeq  uint32
+	unacked  map[uint32]*pending
+	sendWait chan struct{} // pulsed when window space frees
+
+	// Receive side.
+	expected uint32            // next in-order seq to deliver
+	ooo      map[uint32][]byte // out-of-order arrivals pending delivery
+}
+
+type pending struct {
+	payload  []byte
+	lastSent time.Time
+	rto      time.Duration
+	retries  int
+}
+
+// New wraps inner with reliability. The Endpoint owns inner and closes it.
+func New(inner transport.Datagram) *Endpoint {
+	e := &Endpoint{
+		inner: inner,
+		peers: make(map[transport.Addr]*peerState),
+		inbox: make(chan message, 1024),
+		done:  make(chan struct{}),
+	}
+	e.wg.Add(2)
+	go e.recvLoop()
+	go e.retransmitLoop()
+	return e
+}
+
+func (e *Endpoint) peer(a transport.Addr) *peerState {
+	p, ok := e.peers[a]
+	if !ok {
+		p = &peerState{
+			unacked:  make(map[uint32]*pending),
+			ooo:      make(map[uint32][]byte),
+			nextSeq:  1,
+			expected: 1,
+			sendWait: make(chan struct{}, 1),
+		}
+		e.peers[a] = p
+	}
+	return p
+}
+
+// seqLE reports a ≤ b in wraparound-aware serial arithmetic.
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// SendTo implements transport.Datagram. It blocks while the peer's send
+// window is full and returns ErrPeerDead if the peer stops acknowledging.
+func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
+	if len(p) > e.MaxDatagram() {
+		return transport.ErrTooLarge
+	}
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return transport.ErrClosed
+		}
+		if e.fatal != nil {
+			err := e.fatal
+			e.mu.Unlock()
+			return err
+		}
+		ps := e.peer(to)
+		if len(ps.unacked) < windowSize {
+			seq := ps.nextSeq
+			ps.nextSeq++
+			buf := make([]byte, 0, headerLen+len(p))
+			buf = append(buf, typeData, 0)
+			buf = nio.PutU32(buf, seq)
+			buf = append(buf, p...)
+			ps.unacked[seq] = &pending{
+				payload:  buf,
+				lastSent: time.Now(),
+				rto:      initialRTO,
+			}
+			e.mu.Unlock()
+			return e.inner.SendTo(buf, to)
+		}
+		wait := ps.sendWait
+		e.mu.Unlock()
+		select {
+		case <-wait:
+		case <-e.done:
+			return transport.ErrClosed
+		case <-time.After(tickInterval * 4):
+			// Re-check: space may have been freed without a pulse.
+		}
+	}
+}
+
+// Recv implements transport.Datagram, returning the next in-order message
+// from any peer.
+func (e *Endpoint) Recv(timeout time.Duration) ([]byte, transport.Addr, error) {
+	// Fast path: pending delivery needs no timer.
+	select {
+	case m := <-e.inbox:
+		return m.payload, m.from, nil
+	default:
+	}
+	var tch <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tch = t.C
+	}
+	select {
+	case m := <-e.inbox:
+		return m.payload, m.from, nil
+	case <-tch:
+		return nil, transport.Addr{}, transport.ErrTimeout
+	case <-e.done:
+		// Drain anything already delivered before the close.
+		select {
+		case m := <-e.inbox:
+			return m.payload, m.from, nil
+		default:
+			return nil, transport.Addr{}, transport.ErrClosed
+		}
+	}
+}
+
+// recvLoop dispatches incoming DATA and ACK packets.
+func (e *Endpoint) recvLoop() {
+	defer e.wg.Done()
+	recycler, _ := e.inner.(transport.Recycler)
+	for {
+		pkt, from, err := e.inner.Recv(0)
+		if err != nil {
+			return // endpoint closed underneath us
+		}
+		if len(pkt) >= headerLen {
+			switch pkt[0] {
+			case typeData:
+				e.handleData(pkt, from)
+			case typeAck:
+				if len(pkt) >= ackLen {
+					e.handleAck(pkt, from)
+				}
+			}
+		}
+		// Both handlers copy what they keep; the buffer can be recycled.
+		if recycler != nil {
+			recycler.Recycle(pkt)
+		}
+	}
+}
+
+func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
+	seq := nio.U32(pkt[2:])
+	payload := pkt[headerLen:]
+
+	e.mu.Lock()
+	ps := e.peer(from)
+	var deliverables []message
+	if seqLE(ps.expected, seq) {
+		if _, dup := ps.ooo[seq]; !dup {
+			ps.ooo[seq] = append([]byte(nil), payload...)
+		}
+		// Deliver the in-order prefix.
+		for {
+			data, ok := ps.ooo[ps.expected]
+			if !ok {
+				break
+			}
+			delete(ps.ooo, ps.expected)
+			deliverables = append(deliverables, message{payload: data, from: from})
+			ps.expected++
+		}
+	}
+	ack := e.buildAck(ps)
+	e.mu.Unlock()
+
+	// ACK first so the sender's window opens even if our inbox is full.
+	_ = e.inner.SendTo(ack, from)
+	for _, m := range deliverables {
+		select {
+		case e.inbox <- m:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// buildAck encodes the peer's receive state: cumulative ack plus a bitmap of
+// the 32 sequence numbers above it. Caller holds e.mu.
+func (e *Endpoint) buildAck(ps *peerState) []byte {
+	cum := ps.expected - 1
+	var bitmap uint32
+	for i := uint32(0); i < 32; i++ {
+		if _, ok := ps.ooo[cum+1+i]; ok {
+			bitmap |= 1 << i
+		}
+	}
+	buf := make([]byte, 0, ackLen)
+	buf = append(buf, typeAck, 0)
+	buf = nio.PutU32(buf, cum)
+	buf = nio.PutU32(buf, bitmap)
+	return buf
+}
+
+func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
+	cum := nio.U32(pkt[2:])
+	bitmap := nio.U32(pkt[6:])
+
+	e.mu.Lock()
+	ps := e.peer(from)
+	freed := false
+	for seq := range ps.unacked {
+		if seqLE(seq, cum) {
+			delete(ps.unacked, seq)
+			freed = true
+		} else if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
+			delete(ps.unacked, seq)
+			freed = true
+		}
+	}
+	wait := ps.sendWait
+	e.mu.Unlock()
+	if freed {
+		select {
+		case wait <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// retransmitLoop resends unacknowledged packets whose RTO expired, with
+// exponential backoff, and declares the endpoint failed after maxRetries.
+func (e *Endpoint) retransmitLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(tickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		type resend struct {
+			payload []byte
+			to      transport.Addr
+		}
+		var rs []resend
+		e.mu.Lock()
+		for addr, ps := range e.peers {
+			for _, pd := range ps.unacked {
+				if now.Sub(pd.lastSent) < pd.rto {
+					continue
+				}
+				pd.retries++
+				if pd.retries > maxRetries {
+					e.fatal = fmt.Errorf("%w: %s", ErrPeerDead, addr)
+					continue
+				}
+				pd.lastSent = now
+				pd.rto *= 2
+				if pd.rto > maxRTO {
+					pd.rto = maxRTO
+				}
+				rs = append(rs, resend{payload: pd.payload, to: addr})
+			}
+		}
+		e.mu.Unlock()
+		for _, r := range rs {
+			_ = e.inner.SendTo(r.payload, r.to)
+		}
+	}
+}
+
+// Flush blocks until every sent message has been acknowledged, or the
+// timeout passes (returning transport.ErrTimeout), or a peer dies.
+func (e *Endpoint) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		e.mu.Lock()
+		outstanding := 0
+		for _, ps := range e.peers {
+			outstanding += len(ps.unacked)
+		}
+		err := e.fatal
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if outstanding == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return transport.ErrTimeout
+		}
+		time.Sleep(tickInterval)
+	}
+}
+
+// LocalAddr implements transport.Datagram.
+func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }
+
+// MaxDatagram implements transport.Datagram, reserving header space.
+func (e *Endpoint) MaxDatagram() int { return e.inner.MaxDatagram() - headerLen }
+
+// PathMTU implements transport.Datagram.
+func (e *Endpoint) PathMTU() int { return e.inner.PathMTU() }
+
+// Close implements transport.Datagram, closing the underlying endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	err := e.inner.Close()
+	e.wg.Wait()
+	return err
+}

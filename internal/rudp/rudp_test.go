@@ -1,0 +1,268 @@
+package rudp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+func pair(t *testing.T, cfg simnet.Config) (*Endpoint, *Endpoint) {
+	t.Helper()
+	n := simnet.New(cfg)
+	ia, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := n.OpenDatagram("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(ia), New(ib)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestReliableRoundTrip(t *testing.T) {
+	a, b := pair(t, simnet.Config{})
+	msg := []byte("reliable datagram")
+	if err := a.SendTo(msg, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) || from != a.LocalAddr() {
+		t.Fatalf("got %q from %v", got, from)
+	}
+}
+
+func TestSeqLE(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{1, 1, true},
+		{1, 2, true},
+		{2, 1, false},
+		{0xFFFFFFFF, 0, true}, // wraparound
+		{0, 0xFFFFFFFF, false},
+	}
+	for i, c := range cases {
+		if got := seqLE(c.a, c.b); got != c.want {
+			t.Errorf("case %d: seqLE(%d,%d) = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func TestDeliveryUnderHeavyLoss(t *testing.T) {
+	a, b := pair(t, simnet.Config{LossRate: 0.3, Seed: 11})
+	const count = 200
+	go func() {
+		for i := 0; i < count; i++ {
+			payload := []byte(fmt.Sprintf("msg-%04d", i))
+			if err := a.SendTo(payload, b.LocalAddr()); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		got, _, err := b.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		want := fmt.Sprintf("msg-%04d", i)
+		if string(got) != want {
+			t.Fatalf("out of order or corrupt: got %q want %q", got, want)
+		}
+	}
+	// Nothing extra delivered (exactly-once).
+	if extra, _, err := b.Recv(50 * time.Millisecond); err == nil {
+		t.Fatalf("unexpected extra delivery %q", extra)
+	}
+}
+
+func TestDeliveryUnderReorderAndDup(t *testing.T) {
+	a, b := pair(t, simnet.Config{ReorderRate: 0.4, DupRate: 0.3, Seed: 5})
+	const count = 100
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := a.SendTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		got, _, err := b.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("msg %d: got %d", i, got[0])
+		}
+	}
+	if _, _, err := b.Recv(50 * time.Millisecond); err == nil {
+		t.Fatal("duplicate delivered")
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := pair(t, simnet.Config{LossRate: 0.1, Seed: 3})
+	const count = 50
+	errc := make(chan error, 2)
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := a.SendTo([]byte{1, byte(i)}, b.LocalAddr()); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := b.SendTo([]byte{2, byte(i)}, a.LocalAddr()); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < count; i++ {
+		if got, _, err := a.Recv(5 * time.Second); err != nil || got[0] != 2 || got[1] != byte(i) {
+			t.Fatalf("a recv %d: %v %v", i, got, err)
+		}
+		if got, _, err := b.Recv(5 * time.Second); err != nil || got[0] != 1 || got[1] != byte(i) {
+			t.Fatalf("b recv %d: %v %v", i, got, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	a, b := pair(t, simnet.Config{LossRate: 0.2, Seed: 9})
+	for i := 0; i < 32; i++ {
+		if err := a.SendTo(make([]byte, 100), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(5 * time.Second); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestWindowBackpressure(t *testing.T) {
+	// 100% loss: no ACKs ever, so at most windowSize sends proceed.
+	n := simnet.New(simnet.Config{LossRate: 1.0})
+	ia, _ := n.OpenDatagram("a", 0)
+	ib, _ := n.OpenDatagram("b", 0)
+	a, b := New(ia), New(ib)
+	defer a.Close()
+	defer b.Close()
+	sent := make(chan int, 1)
+	go func() {
+		i := 0
+		for ; i < windowSize+10; i++ {
+			if err := a.SendTo([]byte("x"), b.LocalAddr()); err != nil {
+				break
+			}
+		}
+		sent <- i
+	}()
+	select {
+	case n := <-sent:
+		t.Fatalf("sender never blocked (sent %d)", n)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked as expected.
+	}
+}
+
+func TestPeerDeadAfterRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retry exhaustion takes seconds")
+	}
+	n := simnet.New(simnet.Config{LossRate: 1.0})
+	ia, _ := n.OpenDatagram("a", 0)
+	ib, _ := n.OpenDatagram("b", 0)
+	a, b := New(ia), New(ib)
+	defer a.Close()
+	defer b.Close()
+	if err := a.SendTo([]byte("doomed"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(30 * time.Second); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("Flush err = %v, want ErrPeerDead", err)
+	}
+}
+
+func TestMaxDatagramReservesHeader(t *testing.T) {
+	a, b := pair(t, simnet.Config{})
+	if a.MaxDatagram() != transport.MaxDatagramSize-headerLen {
+		t.Fatalf("MaxDatagram = %d", a.MaxDatagram())
+	}
+	if err := a.SendTo(make([]byte, a.MaxDatagram()+1), b.LocalAddr()); !errors.Is(err, transport.ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	ia, _ := n.OpenDatagram("a", 0)
+	a := New(ia)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Recv(0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestManyMessagesRandomSizes(t *testing.T) {
+	a, b := pair(t, simnet.Config{LossRate: 0.05, Seed: 21})
+	rng := rand.New(rand.NewSource(4))
+	const count = 100
+	var sent [][]byte
+	for i := 0; i < count; i++ {
+		p := make([]byte, 1+rng.Intn(8000))
+		rng.Read(p)
+		sent = append(sent, p)
+	}
+	go func() {
+		for _, p := range sent {
+			if err := a.SendTo(p, b.LocalAddr()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		got, _, err := b.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, sent[i]) {
+			t.Fatalf("msg %d corrupted (len %d vs %d)", i, len(got), len(sent[i]))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Multicast: the paper names "broadcast and multicast support" among the
+// attractive features of datagram-iWARP ("a multicast capable iWARP
+// solution would be useful in providing high bandwidth media while
+// leveraging the other benefits of datagram-iWARP", §IV.A). The simulator
+// models IP multicast: endpoints join a group address; a datagram sent to
+// the group is delivered independently to every member, each copy subject
+// to the loss model on its own leg, exactly like per-receiver multicast
+// trees.
+//
+// The verbs layer needs no changes — a UD QP posts a send to the group
+// address and every member QP sees an ordinary inbound message — which is
+// precisely the scalability argument: one send, N deliveries, zero
+// connections.
+
+// McastNode is the node-name prefix identifying group addresses.
+const McastNode = "mcast"
+
+// GroupAddr builds the address of multicast group n.
+func GroupAddr(n uint16) transport.Addr {
+	return transport.Addr{Node: McastNode, Port: n}
+}
+
+// IsGroupAddr reports whether a is a multicast group address.
+func IsGroupAddr(a transport.Addr) bool { return a.Node == McastNode }
+
+type mcastState struct {
+	mu     sync.Mutex
+	groups map[transport.Addr]map[*DatagramEndpoint]struct{}
+}
+
+func (n *Network) mcast() *mcastState {
+	n.mcastOnce.Do(func() {
+		n.mcastGroups = &mcastState{groups: make(map[transport.Addr]map[*DatagramEndpoint]struct{})}
+	})
+	return n.mcastGroups
+}
+
+// Join subscribes ep to multicast group addr (created on first join).
+func (n *Network) Join(group transport.Addr, ep *DatagramEndpoint) error {
+	if !IsGroupAddr(group) {
+		return fmt.Errorf("simnet: %s is not a multicast group address", group)
+	}
+	m := n.mcast()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set, ok := m.groups[group]
+	if !ok {
+		set = make(map[*DatagramEndpoint]struct{})
+		m.groups[group] = set
+	}
+	set[ep] = struct{}{}
+	return nil
+}
+
+// Leave unsubscribes ep from the group.
+func (n *Network) Leave(group transport.Addr, ep *DatagramEndpoint) {
+	m := n.mcast()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if set, ok := m.groups[group]; ok {
+		delete(set, ep)
+		if len(set) == 0 {
+			delete(m.groups, group)
+		}
+	}
+}
+
+// GroupSize reports the group's current membership.
+func (n *Network) GroupSize(group transport.Addr) int {
+	m := n.mcast()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.groups[group])
+}
+
+// members snapshots the group's endpoints.
+func (n *Network) members(group transport.Addr) []*DatagramEndpoint {
+	m := n.mcast()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.groups[group]
+	out := make([]*DatagramEndpoint, 0, len(set))
+	for ep := range set {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// sendMulticast fans a datagram out to every group member; each leg rolls
+// the loss model independently, and members never receive their own sends
+// (IP_MULTICAST_LOOP off, the streaming-server configuration).
+func (e *DatagramEndpoint) sendMulticast(p []byte, group transport.Addr) error {
+	nw := e.net
+	if len(p) > nw.cfg.MaxDatagram {
+		return transport.ErrTooLarge
+	}
+	members := nw.members(group)
+	k := nw.fragments(len(p))
+	loss := nw.lossMicro.Load()
+	for _, dst := range members {
+		if dst == e {
+			continue
+		}
+		nw.sent.Add(1)
+		nw.bytes.Add(int64(len(p)))
+		nw.frags.Add(int64(k))
+		dropped := false
+		for i := 0; i < k; i++ {
+			if nw.chance(loss) {
+				nw.lost.Add(1)
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		buf := getPktBuf(len(p))
+		copy(buf, p)
+		reorder := nw.chance(nw.reorderMicro.Load())
+		if reorder {
+			nw.reorder.Add(1)
+		}
+		_ = dst.q.put(packet{payload: buf, from: e.addr}, reorder)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package simnet
+
+import "sync"
+
+// Packet-buffer pools: a real stack services its datapath from fixed
+// receive rings rather than allocating per packet, and at small message
+// sizes allocator pressure would otherwise dominate the datagram path's
+// cost. Two size classes cover the workloads: MTU-and-below (SIP, media
+// frames) and full 64 KB datagram segments.
+const (
+	smallPktBuf = 2 << 10
+	largePktBuf = 64<<10 + 512
+)
+
+var smallPool = sync.Pool{New: func() any { b := make([]byte, smallPktBuf); return &b }}
+var largePool = sync.Pool{New: func() any { b := make([]byte, largePktBuf); return &b }}
+
+// getPktBuf returns a buffer of length n backed by a pooled array when n
+// fits a size class.
+func getPktBuf(n int) []byte {
+	switch {
+	case n <= smallPktBuf:
+		return (*smallPool.Get().(*[]byte))[:n]
+	case n <= largePktBuf:
+		return (*largePool.Get().(*[]byte))[:n]
+	default:
+		return make([]byte, n)
+	}
+}
+
+// putPktBuf recycles a buffer obtained from getPktBuf. Foreign buffers
+// (wrong capacity) are dropped silently, per transport.Recycler's contract.
+func putPktBuf(p []byte) {
+	switch cap(p) {
+	case smallPktBuf:
+		p = p[:smallPktBuf]
+		smallPool.Put(&p)
+	case largePktBuf:
+		p = p[:largePktBuf]
+		largePool.Put(&p)
+	}
+}

@@ -1,0 +1,327 @@
+// Package simnet is an in-process network simulator providing the datagram
+// and stream LLPs the iWARP stack runs over in tests and benchmarks.
+//
+// It stands in for the paper's experimental apparatus: two Opteron hosts on
+// a 10-Gigabit Ethernet switch, with packet loss injected by a Linux traffic
+// control FIFO queue "configured to drop packets at a defined rate"
+// (§VI.A.2). The simulator reproduces the properties that shape the paper's
+// results:
+//
+//   - a wire MTU (default 1500 B): datagrams larger than the MTU are
+//     IP-fragmented, and loss of ANY fragment destroys the whole datagram —
+//     the cliff in Figures 7 and 8;
+//   - a 64 KB maximum datagram: messages beyond it need several datagrams,
+//     which is where Write-Record's partial placement starts to win;
+//   - independent Bernoulli loss per fragment at a configurable rate, plus
+//     optional reordering and duplication (datagram mode only — streams are
+//     reliable and ordered, like TCP);
+//   - bounded receive queues with sender backpressure, like loopback socket
+//     buffers.
+//
+// All randomness is drawn from a single seeded source, so every experiment
+// is reproducible.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Config parameterises a simulated network. Zero values select defaults.
+type Config struct {
+	// MTU is the wire MTU in bytes (default transport.DefaultMTU).
+	MTU int
+	// MaxDatagram is the largest datagram payload (default 65507, UDP's).
+	MaxDatagram int
+	// LossRate is the per-fragment drop probability in [0, 1).
+	LossRate float64
+	// ReorderRate is the probability a datagram is delivered behind the
+	// next one.
+	ReorderRate float64
+	// DupRate is the probability a datagram is delivered twice.
+	DupRate float64
+	// Latency is an optional one-way delivery delay.
+	Latency time.Duration
+	// QueueLen bounds each endpoint's receive queue in packets
+	// (default 4096).
+	QueueLen int
+	// StreamBufSize sets each direction's stream buffering in bytes
+	// (default DefaultStreamBufSize) — the simulated SO_SNDBUF/SO_RCVBUF.
+	StreamBufSize int
+	// Seed seeds the loss/reorder/duplication RNG (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU == 0 {
+		c.MTU = transport.DefaultMTU
+	}
+	if c.MaxDatagram == 0 {
+		c.MaxDatagram = transport.MaxDatagramSize
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Counters exposes the simulator's traffic statistics.
+type Counters struct {
+	DatagramsSent    int64
+	DatagramsLost    int64
+	DatagramsDup     int64
+	DatagramsReorder int64
+	FragmentsSent    int64
+	BytesSent        int64
+}
+
+// Network is a simulated network segment. All endpoints opened on it can
+// exchange traffic; the Config's impairments apply to datagram traffic.
+type Network struct {
+	cfg Config
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	lossMicro    atomic.Int64 // LossRate * 1e6, runtime-adjustable
+	reorderMicro atomic.Int64
+	dupMicro     atomic.Int64
+
+	mu        sync.Mutex
+	dgram     map[transport.Addr]*DatagramEndpoint
+	listeners map[transport.Addr]*listener
+	nextPort  map[string]uint16
+
+	mcastOnce   sync.Once
+	mcastGroups *mcastState
+
+	sent, lost, dup, reorder, frags, bytes atomic.Int64
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	n := &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		dgram:     make(map[transport.Addr]*DatagramEndpoint),
+		listeners: make(map[transport.Addr]*listener),
+		nextPort:  make(map[string]uint16),
+	}
+	n.lossMicro.Store(int64(cfg.LossRate * 1e6))
+	n.reorderMicro.Store(int64(cfg.ReorderRate * 1e6))
+	n.dupMicro.Store(int64(cfg.DupRate * 1e6))
+	return n
+}
+
+// SetLossRate changes the per-fragment loss probability at runtime; the
+// benchmark harness sweeps it the way the paper swept tc/netem rates.
+func (n *Network) SetLossRate(p float64) { n.lossMicro.Store(int64(p * 1e6)) }
+
+// SetReorderRate changes the reorder probability at runtime.
+func (n *Network) SetReorderRate(p float64) { n.reorderMicro.Store(int64(p * 1e6)) }
+
+// SetDupRate changes the duplication probability at runtime.
+func (n *Network) SetDupRate(p float64) { n.dupMicro.Store(int64(p * 1e6)) }
+
+// Counters returns a snapshot of traffic statistics.
+func (n *Network) Counters() Counters {
+	return Counters{
+		DatagramsSent:    n.sent.Load(),
+		DatagramsLost:    n.lost.Load(),
+		DatagramsDup:     n.dup.Load(),
+		DatagramsReorder: n.reorder.Load(),
+		FragmentsSent:    n.frags.Load(),
+		BytesSent:        n.bytes.Load(),
+	}
+}
+
+// MTU returns the configured wire MTU.
+func (n *Network) MTU() int { return n.cfg.MTU }
+
+// chance draws a Bernoulli sample with probability micro/1e6.
+func (n *Network) chance(micro int64) bool {
+	if micro <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	v := n.rng.Int63n(1e6)
+	n.rngMu.Unlock()
+	return v < micro
+}
+
+func (n *Network) allocPort(node string) uint16 {
+	p, ok := n.nextPort[node]
+	if !ok {
+		p = 49152
+	}
+	for {
+		p++
+		if p == 0 {
+			p = 49153
+		}
+		a := transport.Addr{Node: node, Port: p}
+		if _, used := n.dgram[a]; used {
+			continue
+		}
+		if _, used := n.listeners[a]; used {
+			continue
+		}
+		n.nextPort[node] = p
+		return p
+	}
+}
+
+// fragPayload is the usable payload per wire fragment: MTU minus the 20-byte
+// IP header and 8-byte UDP header.
+func (n *Network) fragPayload() int { return n.cfg.MTU - 28 }
+
+// fragments returns how many wire fragments a datagram of size sz needs.
+func (n *Network) fragments(sz int) int {
+	fp := n.fragPayload()
+	if sz <= fp {
+		return 1
+	}
+	return (sz + fp - 1) / fp
+}
+
+// OpenDatagram binds a datagram endpoint on node (port 0 auto-allocates).
+func (n *Network) OpenDatagram(node string, port uint16) (*DatagramEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if port == 0 {
+		port = n.allocPort(node)
+	}
+	addr := transport.Addr{Node: node, Port: port}
+	if _, used := n.dgram[addr]; used {
+		return nil, fmt.Errorf("simnet: address %s already bound", addr)
+	}
+	ep := &DatagramEndpoint{
+		net:  n,
+		addr: addr,
+		q:    newQueue(n.cfg.QueueLen),
+	}
+	n.dgram[addr] = ep
+	return ep, nil
+}
+
+func (n *Network) lookupDatagram(addr transport.Addr) (*DatagramEndpoint, bool) {
+	n.mu.Lock()
+	ep, ok := n.dgram[addr]
+	n.mu.Unlock()
+	return ep, ok
+}
+
+func (n *Network) dropDatagram(addr transport.Addr) {
+	n.mu.Lock()
+	delete(n.dgram, addr)
+	n.mu.Unlock()
+}
+
+// DatagramEndpoint is a simulated UDP socket.
+type DatagramEndpoint struct {
+	net  *Network
+	addr transport.Addr
+	q    *queue
+}
+
+var _ transport.Datagram = (*DatagramEndpoint)(nil)
+
+// SendTo implements transport.Datagram. The payload is copied, fragmented
+// against the MTU, subjected to the loss/duplication/reordering models, and
+// enqueued at the destination. Blocks only when the destination queue is
+// full (socket-buffer backpressure).
+func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
+	nw := e.net
+	if IsGroupAddr(to) {
+		return e.sendMulticast(p, to)
+	}
+	if len(p) > nw.cfg.MaxDatagram {
+		return transport.ErrTooLarge
+	}
+	dst, ok := nw.lookupDatagram(to)
+	if !ok {
+		return fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
+	}
+	nw.sent.Add(1)
+	nw.bytes.Add(int64(len(p)))
+	k := nw.fragments(len(p))
+	nw.frags.Add(int64(k))
+	// Loss is per wire fragment; losing any fragment kills the datagram
+	// because IP reassembly cannot complete.
+	loss := nw.lossMicro.Load()
+	for i := 0; i < k; i++ {
+		if nw.chance(loss) {
+			nw.lost.Add(1)
+			return nil // silently dropped, like a real lossy network
+		}
+	}
+	deliver := func(pk packet) error {
+		reorder := nw.chance(nw.reorderMicro.Load())
+		if reorder {
+			nw.reorder.Add(1)
+		}
+		if err := dst.q.put(pk, reorder); err != nil {
+			return fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
+		}
+		return nil
+	}
+	send := func(pk packet) error {
+		if nw.cfg.Latency > 0 {
+			time.AfterFunc(nw.cfg.Latency, func() { _ = deliver(pk) })
+			return nil
+		}
+		return deliver(pk)
+	}
+	buf := getPktBuf(len(p))
+	copy(buf, p)
+	if err := send(packet{payload: buf, from: e.addr}); err != nil {
+		return err
+	}
+	if nw.chance(nw.dupMicro.Load()) {
+		nw.dup.Add(1)
+		// The duplicate needs its own buffer: the receiver may recycle the
+		// first copy's storage before consuming the second.
+		dupBuf := getPktBuf(len(p))
+		copy(dupBuf, p)
+		return send(packet{payload: dupBuf, from: e.addr})
+	}
+	return nil
+}
+
+// Recv implements transport.Datagram.
+func (e *DatagramEndpoint) Recv(timeout time.Duration) ([]byte, transport.Addr, error) {
+	pkt, err := e.q.get(timeout)
+	if err != nil {
+		return nil, transport.Addr{}, err
+	}
+	return pkt.payload, pkt.from, nil
+}
+
+// LocalAddr implements transport.Datagram.
+func (e *DatagramEndpoint) LocalAddr() transport.Addr { return e.addr }
+
+// MaxDatagram implements transport.Datagram.
+func (e *DatagramEndpoint) MaxDatagram() int { return e.net.cfg.MaxDatagram }
+
+// PathMTU implements transport.Datagram.
+func (e *DatagramEndpoint) PathMTU() int { return e.net.cfg.MTU }
+
+// Recycle implements transport.Recycler: consumers hand fully-processed
+// receive buffers back to the simulator's packet pools.
+func (e *DatagramEndpoint) Recycle(p []byte) { putPktBuf(p) }
+
+// Close implements transport.Datagram.
+func (e *DatagramEndpoint) Close() error {
+	e.net.dropDatagram(e.addr)
+	e.q.close()
+	return nil
+}

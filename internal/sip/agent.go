@@ -1,0 +1,312 @@
+package sip
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sockif"
+	"repro/internal/transport"
+)
+
+// CallState tracks one dialog on the server, the per-call application
+// state whose growth Figure 11's memory comparison includes ("the
+// application's memory usage, which would require some additional book
+// keeping to keep track of the states of the calls").
+type CallState struct {
+	CallID   string
+	From, To string
+	Peer     transport.Addr
+	CSeq     int
+	State    string // "ringing", "established", "terminated"
+	Started  time.Time
+	// bookkeeping padding representative of a production SIP server's
+	// per-dialog state (route sets, timers, branch IDs).
+	routeSet [4]string
+	branch   [2]string
+}
+
+// Server is a minimal SIP UAS implementing the SipStone basic call flow:
+// INVITE → 180 Ringing → 200 OK; ACK; BYE → 200 OK. It runs over one
+// socket-interface datagram socket.
+type Server struct {
+	sock *sockif.Socket
+
+	mu    sync.Mutex
+	calls map[string]*CallState
+
+	stats ServerStats
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Invites, Acks, Byes, Options int64
+	Malformed                    int64
+}
+
+// NewServer wraps a datagram socket as a SIP UAS.
+func NewServer(sock *sockif.Socket) *Server {
+	return &Server{sock: sock, calls: make(map[string]*CallState)}
+}
+
+// Calls returns the number of live dialogs.
+func (s *Server) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.calls)
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CallFootprint estimates the application bytes held per live dialog.
+func (s *Server) CallFootprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, c := range s.calls {
+		n += 160 // struct and map-slot overhead
+		n += int64(len(c.CallID) + len(c.From) + len(c.To) + len(c.State))
+		for _, r := range c.routeSet {
+			n += int64(len(r))
+		}
+		for _, b := range c.branch {
+			n += int64(len(b))
+		}
+	}
+	return n
+}
+
+// Serve processes requests until the socket closes or the idle timeout
+// elapses with no traffic. It is the server's main loop.
+func (s *Server) Serve(idle time.Duration) error {
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.sock.RecvFrom(buf, idle)
+		if err != nil {
+			return err
+		}
+		s.Handle(buf[:n], from)
+	}
+}
+
+// Handle processes one inbound message and sends any responses.
+func (s *Server) Handle(raw []byte, from transport.Addr) {
+	req, err := Parse(raw)
+	if err != nil || !req.IsRequest {
+		s.mu.Lock()
+		s.stats.Malformed++
+		s.mu.Unlock()
+		return
+	}
+	switch req.Method {
+	case MethodInvite:
+		s.mu.Lock()
+		s.stats.Invites++
+		s.calls[req.CallID] = &CallState{
+			CallID:  req.CallID,
+			From:    req.From,
+			To:      req.To,
+			Peer:    from,
+			CSeq:    req.CSeq,
+			State:   "ringing",
+			Started: time.Now(),
+		}
+		s.mu.Unlock()
+		s.reply(req, from, 180, "Ringing")
+		s.mu.Lock()
+		if c, ok := s.calls[req.CallID]; ok {
+			c.State = "established"
+		}
+		s.mu.Unlock()
+		s.reply(req, from, 200, "OK")
+	case MethodAck:
+		s.mu.Lock()
+		s.stats.Acks++
+		s.mu.Unlock()
+		// ACK is end-to-end; no response.
+	case MethodBye:
+		s.mu.Lock()
+		s.stats.Byes++
+		delete(s.calls, req.CallID)
+		s.mu.Unlock()
+		s.reply(req, from, 200, "OK")
+	case MethodOptions:
+		s.mu.Lock()
+		s.stats.Options++
+		s.mu.Unlock()
+		s.reply(req, from, 200, "OK")
+	default:
+		s.reply(req, from, 501, "Not Implemented")
+	}
+}
+
+func (s *Server) reply(req *Message, to transport.Addr, status int, reason string) {
+	resp := Response(req, status, reason)
+	_ = s.sock.SendTo(resp.Bytes(), to)
+}
+
+// Client is a SIP UAC driving SipStone basic calls against a server.
+type Client struct {
+	sock   *sockif.Socket
+	server transport.Addr
+	seq    int
+	buf    []byte
+}
+
+// NewClient wraps a datagram socket as a UAC targeting server.
+func NewClient(sock *sockif.Socket, server transport.Addr) *Client {
+	return &Client{sock: sock, server: server, buf: make([]byte, 4096)}
+}
+
+// request sends req and waits for a response with matching Call-ID and
+// status ≥ want, returning the first such response.
+func (c *Client) request(req *Message, want int, timeout time.Duration) (*Message, error) {
+	if err := c.sock.SendTo(req.Bytes(), c.server); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, transport.ErrTimeout
+		}
+		n, _, err := c.sock.RecvFrom(c.buf, remaining)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Parse(c.buf[:n])
+		if err != nil || resp.IsRequest || resp.CallID != req.CallID {
+			continue
+		}
+		if resp.Status >= want {
+			return resp, nil
+		}
+	}
+}
+
+// Call runs one SipStone basic call: INVITE → (180) → 200, ACK, BYE → 200.
+// It returns the INVITE response time (first-response latency, the
+// quantity in Figure 10) and the total call duration.
+func (c *Client) Call(timeout time.Duration) (inviteRT, total time.Duration, err error) {
+	c.seq++
+	callID := fmt.Sprintf("call-%d-%d@%s", c.seq, time.Now().UnixNano(), c.sock.LocalAddr())
+	from := fmt.Sprintf("<sip:uac@%s>;tag=%d", c.sock.LocalAddr(), c.seq)
+	to := fmt.Sprintf("<sip:uas@%s>", c.server)
+
+	start := time.Now()
+	inv := &Message{
+		IsRequest: true,
+		Method:    MethodInvite,
+		URI:       "sip:uas@" + c.server.String(),
+		Via:       "SIP/2.0/UDP " + c.sock.LocalAddr().String(),
+		From:      from,
+		To:        to,
+		CallID:    callID,
+		CSeq:      1,
+		CSeqMet:   MethodInvite,
+		Body:      []byte("v=0\r\no=- 0 0 IN IP4 0.0.0.0\r\ns=-\r\n"),
+	}
+	if _, err = c.requestFirst(inv, timeout); err != nil {
+		return 0, 0, fmt.Errorf("INVITE: %w", err)
+	}
+	inviteRT = time.Since(start)
+	// Wait for the 200 (may already have been consumed as the first
+	// response if the 180 was lost; requestFirst handles both).
+	ack := &Message{
+		IsRequest: true,
+		Method:    MethodAck,
+		URI:       inv.URI,
+		Via:       inv.Via,
+		From:      from,
+		To:        to,
+		CallID:    callID,
+		CSeq:      1,
+		CSeqMet:   MethodAck,
+	}
+	if err = c.sock.SendTo(ack.Bytes(), c.server); err != nil {
+		return inviteRT, 0, fmt.Errorf("ACK: %w", err)
+	}
+	bye := &Message{
+		IsRequest: true,
+		Method:    MethodBye,
+		URI:       inv.URI,
+		Via:       inv.Via,
+		From:      from,
+		To:        to,
+		CallID:    callID,
+		CSeq:      2,
+		CSeqMet:   MethodBye,
+	}
+	if _, err = c.request(bye, 200, timeout); err != nil {
+		return inviteRT, 0, fmt.Errorf("BYE: %w", err)
+	}
+	return inviteRT, time.Since(start), nil
+}
+
+// requestFirst sends req and returns on the FIRST response for its call
+// (the 180 normally; the 200 if the 180 was lost), then drains the 200 if
+// the first was provisional.
+func (c *Client) requestFirst(req *Message, timeout time.Duration) (*Message, error) {
+	resp, err := c.request(req, 100, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status < 200 {
+		// Provisional; the final 200 follows. Absorb it (best effort —
+		// over UD it may be lost, which a real UAC handles by the ACK
+		// retransmission machinery we do not need for benchmarking).
+		if final, err := c.request0(req.CallID, 200, timeout); err == nil {
+			return final, nil
+		}
+	}
+	return resp, nil
+}
+
+// request0 waits for an already-solicited response without resending.
+func (c *Client) request0(callID string, want int, timeout time.Duration) (*Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, transport.ErrTimeout
+		}
+		n, _, err := c.sock.RecvFrom(c.buf, remaining)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Parse(c.buf[:n])
+		if err != nil || resp.IsRequest || resp.CallID != callID {
+			continue
+		}
+		if resp.Status >= want {
+			return resp, nil
+		}
+	}
+}
+
+// Options sends an OPTIONS ping and returns its response time: the
+// lightest-weight request/response measurement.
+func (c *Client) Options(timeout time.Duration) (time.Duration, error) {
+	c.seq++
+	req := &Message{
+		IsRequest: true,
+		Method:    MethodOptions,
+		URI:       "sip:uas@" + c.server.String(),
+		Via:       "SIP/2.0/UDP " + c.sock.LocalAddr().String(),
+		From:      fmt.Sprintf("<sip:uac@%s>;tag=%d", c.sock.LocalAddr(), c.seq),
+		To:        "<sip:uas@" + c.server.String() + ">",
+		CallID:    fmt.Sprintf("opt-%d@%s", c.seq, c.sock.LocalAddr()),
+		CSeq:      c.seq,
+		CSeqMet:   MethodOptions,
+	}
+	start := time.Now()
+	if _, err := c.request(req, 200, timeout); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,210 @@
+// Package sip implements the Session Initiation Protocol workload of the
+// paper's evaluation (§VI.B.2): a message codec, user-agent client/server
+// transaction engines, and the SipStone-style basic call flow that the
+// SIPp traffic generator drives in the original experiments.
+//
+// The codec is a real (if minimal) RFC 3261 text codec — request/status
+// lines, the six mandatory headers, Content-Length framing — because the
+// measured quantity in Figure 10 is request/response time through the
+// socket interface, which includes parse/serialise work on both ends.
+package sip
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Methods used by the SipStone basic call flow.
+const (
+	MethodInvite   = "INVITE"
+	MethodAck      = "ACK"
+	MethodBye      = "BYE"
+	MethodOptions  = "OPTIONS"
+	MethodRegister = "REGISTER"
+)
+
+// Codec errors.
+var (
+	ErrMalformed = errors.New("sip: malformed message")
+	ErrTruncated = errors.New("sip: truncated message body")
+)
+
+// Message is one SIP request or response.
+type Message struct {
+	IsRequest bool
+
+	// Request fields.
+	Method string
+	URI    string
+
+	// Response fields.
+	Status int
+	Reason string
+
+	// Mandatory headers (RFC 3261 §8.1.1).
+	Via     string
+	From    string
+	To      string
+	CallID  string
+	CSeq    int
+	CSeqMet string // method in the CSeq header
+	Contact string
+
+	// Extra headers preserved verbatim (name: value).
+	Extra []string
+
+	Body []byte
+}
+
+const version = "SIP/2.0"
+
+// Append serialises the message in wire form onto dst.
+func (m *Message) Append(dst []byte) []byte {
+	if m.IsRequest {
+		dst = append(dst, m.Method...)
+		dst = append(dst, ' ')
+		dst = append(dst, m.URI...)
+		dst = append(dst, ' ')
+		dst = append(dst, version...)
+	} else {
+		dst = append(dst, version...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, int64(m.Status), 10)
+		dst = append(dst, ' ')
+		dst = append(dst, m.Reason...)
+	}
+	dst = append(dst, "\r\n"...)
+	appendHdr := func(name, val string) {
+		if val != "" {
+			dst = append(dst, name...)
+			dst = append(dst, ": "...)
+			dst = append(dst, val...)
+			dst = append(dst, "\r\n"...)
+		}
+	}
+	appendHdr("Via", m.Via)
+	appendHdr("From", m.From)
+	appendHdr("To", m.To)
+	appendHdr("Call-ID", m.CallID)
+	if m.CSeq > 0 {
+		dst = append(dst, "CSeq: "...)
+		dst = strconv.AppendInt(dst, int64(m.CSeq), 10)
+		dst = append(dst, ' ')
+		dst = append(dst, m.CSeqMet...)
+		dst = append(dst, "\r\n"...)
+	}
+	appendHdr("Contact", m.Contact)
+	for _, h := range m.Extra {
+		dst = append(dst, h...)
+		dst = append(dst, "\r\n"...)
+	}
+	dst = append(dst, "Content-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(m.Body)), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	dst = append(dst, m.Body...)
+	return dst
+}
+
+// Bytes serialises the message into a fresh slice.
+func (m *Message) Bytes() []byte { return m.Append(nil) }
+
+// Parse decodes one SIP message from wire form.
+func Parse(p []byte) (*Message, error) {
+	head, rest, ok := bytes.Cut(p, []byte("\r\n\r\n"))
+	if !ok {
+		return nil, fmt.Errorf("%w: no header terminator", ErrMalformed)
+	}
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("%w: empty start line", ErrMalformed)
+	}
+	m := &Message{}
+	start := lines[0]
+	if strings.HasPrefix(start, version+" ") {
+		// Status line.
+		parts := strings.SplitN(start, " ", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("%w: status line %q", ErrMalformed, start)
+		}
+		code, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+		}
+		m.Status = code
+		if len(parts) == 3 {
+			m.Reason = parts[2]
+		}
+	} else {
+		parts := strings.SplitN(start, " ", 3)
+		if len(parts) != 3 || parts[2] != version {
+			return nil, fmt.Errorf("%w: request line %q", ErrMalformed, start)
+		}
+		m.IsRequest = true
+		m.Method = parts[0]
+		m.URI = parts[1]
+	}
+	contentLen := -1
+	for _, ln := range lines[1:] {
+		name, val, ok := strings.Cut(ln, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: header %q", ErrMalformed, ln)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "via":
+			m.Via = val
+		case "from":
+			m.From = val
+		case "to":
+			m.To = val
+		case "call-id":
+			m.CallID = val
+		case "cseq":
+			num, met, _ := strings.Cut(val, " ")
+			n, err := strconv.Atoi(strings.TrimSpace(num))
+			if err != nil {
+				return nil, fmt.Errorf("%w: CSeq %q", ErrMalformed, val)
+			}
+			m.CSeq = n
+			m.CSeqMet = strings.TrimSpace(met)
+		case "contact":
+			m.Contact = val
+		case "content-length":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: Content-Length %q", ErrMalformed, val)
+			}
+			contentLen = n
+		default:
+			m.Extra = append(m.Extra, ln)
+		}
+	}
+	if contentLen >= 0 {
+		if len(rest) < contentLen {
+			return nil, fmt.Errorf("%w: body %d < Content-Length %d", ErrTruncated, len(rest), contentLen)
+		}
+		rest = rest[:contentLen]
+	}
+	if len(rest) > 0 {
+		m.Body = append([]byte(nil), rest...)
+	}
+	return m, nil
+}
+
+// Response builds a response to a request, copying the dialog-identifying
+// headers as RFC 3261 §8.2.6 requires.
+func Response(req *Message, status int, reason string) *Message {
+	return &Message{
+		Status:  status,
+		Reason:  reason,
+		Via:     req.Via,
+		From:    req.From,
+		To:      req.To,
+		CallID:  req.CallID,
+		CSeq:    req.CSeq,
+		CSeqMet: req.Method,
+	}
+}

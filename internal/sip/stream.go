@@ -1,0 +1,234 @@
+package sip
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sockif"
+	"repro/internal/transport"
+)
+
+// SIP over a reliable connection (RFC 3261 §18.1 TCP transport): messages
+// are delimited by Content-Length framing on the byte stream. This is the
+// RC side of the Figure 10 comparison.
+
+// framer incrementally extracts SIP messages from a stream socket.
+type framer struct {
+	sock *sockif.Socket
+	buf  []byte
+	tmp  []byte
+}
+
+func newFramer(sock *sockif.Socket) *framer {
+	return &framer{sock: sock, tmp: make([]byte, 8192)}
+}
+
+// next returns the next complete message from the stream.
+func (f *framer) next(timeout time.Duration) (*Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if m, n, err := f.tryParse(); err != nil {
+			return nil, err
+		} else if m != nil {
+			f.buf = f.buf[n:]
+			if len(f.buf) == 0 {
+				f.buf = nil
+			}
+			return m, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, transport.ErrTimeout
+		}
+		k, err := f.sock.Recv(f.tmp, remaining)
+		if err != nil {
+			return nil, err
+		}
+		f.buf = append(f.buf, f.tmp[:k]...)
+	}
+}
+
+// tryParse attempts to cut one complete message from the front of the
+// buffer, returning it and its wire length.
+func (f *framer) tryParse() (*Message, int, error) {
+	i := bytes.Index(f.buf, []byte("\r\n\r\n"))
+	if i < 0 {
+		if len(f.buf) > 64<<10 {
+			return nil, 0, fmt.Errorf("%w: unterminated header block", ErrMalformed)
+		}
+		return nil, 0, nil
+	}
+	head := f.buf[:i]
+	contentLen := 0
+	for _, ln := range strings.Split(string(head), "\r\n") {
+		name, val, ok := strings.Cut(ln, ":")
+		if ok && strings.EqualFold(strings.TrimSpace(name), "Content-Length") {
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || n < 0 {
+				return nil, 0, fmt.Errorf("%w: Content-Length %q", ErrMalformed, val)
+			}
+			contentLen = n
+		}
+	}
+	total := i + 4 + contentLen
+	if len(f.buf) < total {
+		return nil, 0, nil // body still in flight
+	}
+	m, err := Parse(f.buf[:total])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// ServeStream accepts RC connections on l and serves the SipStone call
+// flow on each until the listener closes. Each connection gets its own
+// dialog table, like a SIP server's per-connection transport association.
+func ServeStream(l *sockif.StreamListener, idle time.Duration) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveStreamConn(conn, idle)
+	}
+}
+
+func serveStreamConn(conn *sockif.Socket, idle time.Duration) {
+	defer conn.Close()
+	f := newFramer(conn)
+	calls := make(map[string]*CallState)
+	reply := func(req *Message, status int, reason string) bool {
+		resp := Response(req, status, reason)
+		return conn.Send(resp.Bytes()) == nil
+	}
+	for {
+		req, err := f.next(idle)
+		if err != nil {
+			return
+		}
+		if !req.IsRequest {
+			continue
+		}
+		switch req.Method {
+		case MethodInvite:
+			calls[req.CallID] = &CallState{
+				CallID: req.CallID, From: req.From, To: req.To,
+				CSeq: req.CSeq, State: "ringing", Started: time.Now(),
+			}
+			if !reply(req, 180, "Ringing") {
+				return
+			}
+			if c := calls[req.CallID]; c != nil {
+				c.State = "established"
+			}
+			if !reply(req, 200, "OK") {
+				return
+			}
+		case MethodAck:
+			// end-to-end, no response
+		case MethodBye:
+			delete(calls, req.CallID)
+			if !reply(req, 200, "OK") {
+				return
+			}
+		case MethodOptions:
+			if !reply(req, 200, "OK") {
+				return
+			}
+		default:
+			if !reply(req, 501, "Not Implemented") {
+				return
+			}
+		}
+	}
+}
+
+// StreamClient is a UAC over a connected RC stream socket.
+type StreamClient struct {
+	f   *framer
+	seq int
+}
+
+// NewStreamClient wraps a connected stream socket as a UAC.
+func NewStreamClient(sock *sockif.Socket) *StreamClient {
+	return &StreamClient{f: newFramer(sock)}
+}
+
+// waitStatus reads responses until one for callID with status ≥ want.
+func (c *StreamClient) waitStatus(callID string, want int, timeout time.Duration) (*Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, transport.ErrTimeout
+		}
+		m, err := c.f.next(remaining)
+		if err != nil {
+			return nil, err
+		}
+		if m.IsRequest || m.CallID != callID {
+			continue
+		}
+		if m.Status >= want {
+			return m, nil
+		}
+	}
+}
+
+// Call runs one SipStone basic call over the stream, returning the INVITE
+// first-response time and total call duration (Figure 10's RC column).
+func (c *StreamClient) Call(timeout time.Duration) (inviteRT, total time.Duration, err error) {
+	c.seq++
+	sock := c.f.sock
+	callID := fmt.Sprintf("scall-%d-%d", c.seq, time.Now().UnixNano())
+	from := fmt.Sprintf("<sip:uac@stream>;tag=%d", c.seq)
+	to := "<sip:uas@stream>"
+	start := time.Now()
+	inv := &Message{
+		IsRequest: true, Method: MethodInvite, URI: "sip:uas@stream",
+		Via: "SIP/2.0/TCP client", From: from, To: to,
+		CallID: callID, CSeq: 1, CSeqMet: MethodInvite,
+		Body: []byte("v=0\r\no=- 0 0 IN IP4 0.0.0.0\r\ns=-\r\n"),
+	}
+	if err = sock.Send(inv.Bytes()); err != nil {
+		return 0, 0, fmt.Errorf("INVITE: %w", err)
+	}
+	first, err := c.waitStatus(callID, 100, timeout)
+	if err != nil {
+		return 0, 0, fmt.Errorf("INVITE response: %w", err)
+	}
+	inviteRT = time.Since(start)
+	if first.Status < 200 {
+		if _, err = c.waitStatus(callID, 200, timeout); err != nil {
+			return inviteRT, 0, fmt.Errorf("final response: %w", err)
+		}
+	}
+	ack := &Message{
+		IsRequest: true, Method: MethodAck, URI: inv.URI,
+		Via: inv.Via, From: from, To: to,
+		CallID: callID, CSeq: 1, CSeqMet: MethodAck,
+	}
+	if err = sock.Send(ack.Bytes()); err != nil {
+		return inviteRT, 0, fmt.Errorf("ACK: %w", err)
+	}
+	bye := &Message{
+		IsRequest: true, Method: MethodBye, URI: inv.URI,
+		Via: inv.Via, From: from, To: to,
+		CallID: callID, CSeq: 2, CSeqMet: MethodBye,
+	}
+	if err = sock.Send(bye.Bytes()); err != nil {
+		return inviteRT, 0, fmt.Errorf("BYE: %w", err)
+	}
+	if _, err = c.waitStatus(callID, 200, timeout); err != nil {
+		return inviteRT, 0, fmt.Errorf("BYE response: %w", err)
+	}
+	return inviteRT, time.Since(start), nil
+}

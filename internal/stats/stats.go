@@ -1,0 +1,151 @@
+// Package stats provides the measurement utilities used by the benchmark
+// harness: streaming summaries, percentile histograms, throughput
+// calculators, and human-readable size formatting matching the paper's axes.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, min, max, and standard deviation. The zero value is ready to use.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	everybodyy bool // set after first Add (internal flag; name avoids clash)
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if !s.everybodyy {
+		s.min, s.max = x, x
+		s.everybodyy = true
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Stddev returns the sample standard deviation, or 0 for n < 2.
+func (s *Summary) Stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Sample collects raw observations for percentile reporting.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration records a duration in microseconds, the latency unit used
+// throughout the paper's figures.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.Microsecond)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks, or 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean of the sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Throughput converts bytes moved over an elapsed duration into MB/s
+// (decimal megabytes, matching the paper's bandwidth axes).
+func Throughput(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / 1e6
+}
+
+// SizeLabel renders a byte count the way the paper labels its x-axes:
+// plain numbers below 1K, then 1K, 64K, 1MB.
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Sizes returns the doubling sweep [from, to] inclusive, the message-size
+// series used by every microbenchmark figure.
+func Sizes(from, to int) []int {
+	var out []int
+	for s := from; s <= to; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

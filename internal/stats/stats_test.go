@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatal("zero Summary should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of the classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSummaryNegativeFirst(t *testing.T) {
+	var s Summary
+	s.Add(-3)
+	s.Add(1)
+	if s.Min() != -3 || s.Max() != 1 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty sample percentile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Adding after a sorted read must keep working.
+	s.Add(1000)
+	if got := s.Percentile(100); got != 1000 {
+		t.Fatalf("P100 after Add = %v", got)
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Nanosecond)
+	if got := s.Percentile(50); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("duration recorded as %v µs, want 1.5", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1e6, time.Second); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Throughput = %v MB/s, want 1", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		1:         "1",
+		512:       "512",
+		1024:      "1K",
+		2048:      "2K",
+		65536:     "64K",
+		1 << 20:   "1MB",
+		1536:      "1536", // not a whole K
+		3 << 20:   "3MB",
+		1<<20 + 1: "1048577",
+	}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	got := Sizes(1, 16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+	if Sizes(8, 4) != nil {
+		t.Fatal("empty sweep should be nil")
+	}
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"net"
+)
+
+// tcpStream adapts a kernel TCP connection to the Stream interface.
+type tcpStream struct {
+	conn *net.TCPConn
+}
+
+func (s *tcpStream) Read(p []byte) (int, error)  { return s.conn.Read(p) }
+func (s *tcpStream) Write(p []byte) (int, error) { return s.conn.Write(p) }
+func (s *tcpStream) Close() error                { return s.conn.Close() }
+
+func (s *tcpStream) LocalAddr() Addr {
+	a := s.conn.LocalAddr().(*net.TCPAddr)
+	return Addr{Node: a.IP.String(), Port: uint16(a.Port)}
+}
+
+func (s *tcpStream) RemoteAddr() Addr {
+	a := s.conn.RemoteAddr().(*net.TCPAddr)
+	return Addr{Node: a.IP.String(), Port: uint16(a.Port)}
+}
+
+// tcpListener adapts a kernel TCP listener to the Listener interface.
+type tcpListener struct {
+	l *net.TCPListener
+}
+
+// ListenTCP opens a stream listener on host:port for RC-mode iWARP over
+// real TCP (port 0 picks a free port).
+func ListenTCP(host string, port uint16) (Listener, error) {
+	ip := net.ParseIP(host)
+	l, err := net.ListenTCP("tcp", &net.TCPAddr{IP: ip, Port: int(port)})
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (tl *tcpListener) Accept() (Stream, error) {
+	c, err := tl.l.AcceptTCP()
+	if err != nil {
+		return nil, err
+	}
+	// iWARP over TCP sends latency-critical small FPDUs; disable Nagle as
+	// any RNIC or software stack would.
+	_ = c.SetNoDelay(true)
+	return &tcpStream{conn: c}, nil
+}
+
+func (tl *tcpListener) Addr() Addr {
+	a := tl.l.Addr().(*net.TCPAddr)
+	return Addr{Node: a.IP.String(), Port: uint16(a.Port)}
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+
+// DialTCP connects a stream to the given address for RC-mode iWARP.
+func DialTCP(to Addr) (Stream, error) {
+	c, err := net.Dial("tcp", to.String())
+	if err != nil {
+		return nil, err
+	}
+	tc := c.(*net.TCPConn)
+	_ = tc.SetNoDelay(true)
+	return &tcpStream{conn: tc}, nil
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Node: "10.0.0.1", Port: 4096}
+	if a.String() != "10.0.0.1:4096" {
+		t.Fatalf("got %q", a.String())
+	}
+	if a.IsZero() {
+		t.Fatal("non-zero addr reported zero")
+	}
+	if !(Addr{}).IsZero() {
+		t.Fatal("zero addr not detected")
+	}
+}
+
+func TestUDPEndpointRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.MaxDatagram() != MaxDatagramSize || a.PathMTU() != DefaultMTU {
+		t.Fatalf("limits: %d %d", a.MaxDatagram(), a.PathMTU())
+	}
+	msg := []byte("over real loopback")
+	if err := a.SendTo(msg, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	if from.Port != a.LocalAddr().Port {
+		t.Fatalf("from = %v, want port %d", from, a.LocalAddr().Port)
+	}
+}
+
+func TestUDPEndpointTimeout(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer a.Close()
+	if _, _, err := a.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUDPEndpointTooLarge(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer a.Close()
+	err = a.SendTo(make([]byte, MaxDatagramSize+1), a.LocalAddr())
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUDPEndpointClosed(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	a.Close()
+	if _, _, err := a.Recv(time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Close()
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(s, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := s.Write(bytes.ToUpper(buf)); err != nil {
+			t.Error(err)
+		}
+	}()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "PING" {
+		t.Fatalf("got %q", buf)
+	}
+	<-done
+}
