@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-datapath check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep: one benchmark per paper figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Just the UD send datapath (pooled segmentation + batch submit + CRC32C).
+bench-datapath:
+	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkChecksum' -benchmem -run=^$$ ./internal/ddp/ ./internal/crcx/
+
+# What CI should run.
+check: build vet test race

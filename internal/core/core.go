@@ -163,4 +163,30 @@ type Stats struct {
 	PlaceErrors    int64 // tagged placement failures
 	Reassembled    int64 // multi-segment untagged messages completed
 	SweptPartials  int64 // partial messages abandoned by timeout
+
+	// Send-datapath counters (UD QPs; zero on RC QPs, whose stream binding
+	// does not batch).
+	BatchesSent  int64 // SendBatch bursts handed to the LLP
+	SegmentsSent int64 // wire segments emitted by the segmented send path
+	PoolHits     int64 // segment buffers served from the send pool
+	PoolMisses   int64 // segment buffers that had to be allocated
+}
+
+// SegmentsPerBatch reports the mean burst size the send path achieved, or 0
+// before any batched send.
+func (s Stats) SegmentsPerBatch() float64 {
+	if s.BatchesSent == 0 {
+		return 0
+	}
+	return float64(s.SegmentsSent) / float64(s.BatchesSent)
+}
+
+// PoolHitRate reports the fraction of segment-buffer requests served from
+// the pool, in [0, 1]; 0 before any send.
+func (s Stats) PoolHitRate() float64 {
+	total := s.PoolHits + s.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(total)
 }

@@ -62,8 +62,6 @@ type UDQP struct {
 	reasmBytes atomic.Int64 // snapshot of reassembler memory, for Footprint
 	msn        atomic.Uint32
 
-	sendMu sync.Mutex // serialises multi-segment sends
-
 	recMu   sync.Mutex // guards records (Write-Record message trackers)
 	records map[wrKey]*wrTracker
 
@@ -165,11 +163,11 @@ func (qp *UDQP) postUntagged(id uint64, to transport.Addr, payload nio.Vec, op r
 	if n > maxUDMessage {
 		return fmt.Errorf("%w: message of %d bytes", ErrBadWR, n)
 	}
+	// No send lock: the datagram channel's pooled datapath is safe for
+	// concurrent posters, and segment interleaving between messages is
+	// harmless — every segment is self-describing (MSN/MO/MsgLen).
 	msn := qp.msn.Add(1)
-	qp.sendMu.Lock()
-	err := qp.ch.SendUntagged(to, ddp.QNSend, msn, rdmap.Ctrl(op), payload)
-	qp.sendMu.Unlock()
-	if err != nil {
+	if err := qp.ch.SendUntagged(to, ddp.QNSend, msn, rdmap.Ctrl(op), payload); err != nil {
 		return err
 	}
 	qp.stats.msgsSent.Add(1)
@@ -193,10 +191,7 @@ func (qp *UDQP) PostWriteRecord(id uint64, dest transport.Addr, stag memreg.STag
 		return fmt.Errorf("%w: message of %d bytes", ErrBadWR, n)
 	}
 	msn := qp.msn.Add(1)
-	qp.sendMu.Lock()
-	err := qp.ch.SendTagged(dest, stag, to, msn, rdmap.Ctrl(rdmap.OpWriteRecord), payload)
-	qp.sendMu.Unlock()
-	if err != nil {
+	if err := qp.ch.SendTagged(dest, stag, to, msn, rdmap.Ctrl(rdmap.OpWriteRecord), payload); err != nil {
 		return err
 	}
 	qp.stats.msgsSent.Add(1)
@@ -412,7 +407,12 @@ func (qp *UDQP) flushRecvs() {
 
 // Stats returns a snapshot of the QP's datapath counters.
 func (qp *UDQP) Stats() Stats {
+	batches, segments, poolHits, poolMisses := qp.ch.SendStats()
 	return Stats{
+		BatchesSent:  batches,
+		SegmentsSent: segments,
+		PoolHits:     poolHits,
+		PoolMisses:   poolMisses,
 		MsgsSent:       qp.stats.msgsSent.Load(),
 		MsgsReceived:   qp.stats.msgsRecv.Load(),
 		BytesSent:      qp.stats.bytesSent.Load(),

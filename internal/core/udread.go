@@ -73,9 +73,7 @@ func (qp *UDQP) PostRead(id uint64, dest transport.Addr, sinkSTag memreg.STag, s
 	}
 	qp.readMu.Unlock()
 
-	qp.sendMu.Lock()
 	err = qp.ch.SendUntagged(dest, ddp.QNReadReq, msn, rdmap.Ctrl(rdmap.OpReadReq), nio.VecOf(req.Append(nil)))
-	qp.sendMu.Unlock()
 	if err != nil {
 		qp.readMu.Lock()
 		delete(qp.pendingReads, key)
@@ -108,9 +106,7 @@ func (qp *UDQP) handleReadReq(from transport.Addr, seg *ddp.Segment) {
 		qp.sendTerminate(from, rdmap.LayerRDMAP, rdmap.TermAccessViolation, err.Error())
 		return
 	}
-	qp.sendMu.Lock()
 	err = qp.ch.SendTagged(from, memreg.STag(req.SinkSTag), req.SinkTO, seg.MSN, rdmap.Ctrl(rdmap.OpReadResp), nio.VecOf(buf))
-	qp.sendMu.Unlock()
 	if err != nil {
 		qp.advisory(from, err)
 		return
@@ -224,7 +220,5 @@ func (qp *UDQP) sweepReads(now time.Time) {
 func (qp *UDQP) sendTerminate(to transport.Addr, layer rdmap.TermLayer, code rdmap.TermCode, info string) {
 	t := rdmap.Terminate{Layer: layer, Code: code, Info: info}
 	msn := qp.msn.Add(1)
-	qp.sendMu.Lock()
 	_ = qp.ch.SendUntagged(to, ddp.QNTerminate, msn, rdmap.Ctrl(rdmap.OpTerminate), nio.VecOf(t.Append(nil)))
-	qp.sendMu.Unlock()
 }

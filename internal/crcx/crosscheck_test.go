@@ -1,0 +1,72 @@
+package crcx
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// TestImplementationsAgree cross-checks the three Castagnoli engines the
+// package can select between — the dispatched fast path (Update), the
+// portable slicing-by-8 fallback, and hash/crc32 — over random lengths and
+// offsets, so a table-generation or dispatch bug can never silently fork
+// the wire format.
+func TestImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 1<<16)
+	rng.Read(buf)
+
+	check := func(p []byte) {
+		t.Helper()
+		want := crc32.Checksum(p, stdTable)
+		if got := Checksum(p); got != want {
+			t.Fatalf("Checksum(%d bytes) = %08x, stdlib says %08x", len(p), got, want)
+		}
+		if got := updatePortable(0, p); got != want {
+			t.Fatalf("updatePortable(%d bytes) = %08x, stdlib says %08x", len(p), got, want)
+		}
+		if got := updateStdlib(0, p); got != want {
+			t.Fatalf("updateStdlib(%d bytes) = %08x, stdlib says %08x", len(p), got, want)
+		}
+	}
+
+	// Deliberate boundary lengths around the slicing strides.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 63, 64, 255, 256, 1024} {
+		check(buf[:n])
+	}
+	// Random lengths at random (often unaligned) offsets.
+	for trial := 0; trial < 500; trial++ {
+		off := rng.Intn(len(buf))
+		n := rng.Intn(len(buf) - off)
+		check(buf[off : off+n])
+	}
+}
+
+// TestPortableComposes verifies the slicing-by-8 fallback composes across
+// arbitrary splits exactly like the fast path, so mid-stream dispatch
+// differences cannot change a running CRC.
+func TestPortableComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := make([]byte, 4096)
+	rng.Read(p)
+	whole := updatePortable(0, p)
+	for trial := 0; trial < 100; trial++ {
+		k := rng.Intn(len(p) + 1)
+		if got := updatePortable(updatePortable(0, p[:k]), p[k:]); got != whole {
+			t.Fatalf("split at %d: %08x != %08x", k, got, whole)
+		}
+		// Mixed engines mid-stream must agree too.
+		if got := updateStdlib(updatePortable(0, p[:k]), p[k:]); got != whole {
+			t.Fatalf("mixed split at %d: %08x != %08x", k, got, whole)
+		}
+	}
+}
+
+func BenchmarkChecksumPortable64K(b *testing.B) {
+	p := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(p)
+	b.SetBytes(64 << 10)
+	for b.Loop() {
+		updatePortable(0, p)
+	}
+}

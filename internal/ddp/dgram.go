@@ -3,6 +3,7 @@ package ddp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crcx"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/nio"
 	"repro/internal/transport"
 )
+
+// maxBatchSegments bounds how many segment buffers one message holds out of
+// the pool at once. A full batch at the 64 KB datagram limit is ~2 MB of
+// pooled memory per in-flight send — enough to amortize the per-batch costs
+// (one BatchSender call, one queue lock) without letting a 1 GB message pin
+// a gigabyte of buffers.
+const maxBatchSegments = 32
 
 // DatagramChannel binds DDP to an unreliable datagram LLP: the paper's
 // datagram-iWARP datapath (Figure 4, right column). There is no MPA layer —
@@ -23,17 +31,37 @@ import (
 // 64 KB UDP limit), each of which the network below may fragment to the
 // wire MTU. Loss of a wire fragment kills one segment, not the message —
 // which is what lets Write-Record place the surviving segments.
+//
+// The send path is a batched, pool-backed pipeline: each segment is encoded
+// into its own buffer drawn from a per-channel pool, CRC'd, and the burst is
+// handed to the LLP through transport.BatchSender where available. There is
+// no per-channel send lock and no shared send buffer, so concurrent posters
+// on one QP proceed independently — they contend only on the pool's
+// lock-free free list and (under simnet) one queue lock per batch.
 type DatagramChannel struct {
-	ep transport.Datagram
+	ep    transport.Datagram
+	batch transport.BatchSender // non-nil when ep supports batched sends
 
-	sendMu  sync.Mutex
-	sendBuf []byte
+	pool     *nio.Pool // segment wire buffers, capacity ep.MaxDatagram()
+	batchBuf sync.Pool // *[][]byte scratch, capacity maxBatchSegments
+
+	batches  atomic.Int64 // SendBatch bursts issued
+	segments atomic.Int64 // wire segments emitted (batched or not)
 }
 
 // NewDatagramChannel wraps a datagram endpoint (raw simnet/UDP for UD, or
 // an rudp.Endpoint for the reliable-datagram mode).
 func NewDatagramChannel(ep transport.Datagram) *DatagramChannel {
-	return &DatagramChannel{ep: ep}
+	ch := &DatagramChannel{
+		ep:   ep,
+		pool: nio.NewPool(ep.MaxDatagram()),
+	}
+	ch.batch, _ = ep.(transport.BatchSender)
+	ch.batchBuf.New = func() any {
+		b := make([][]byte, 0, maxBatchSegments)
+		return &b
+	}
+	return ch
 }
 
 // MaxSegment returns the largest DDP payload one datagram segment carries.
@@ -49,6 +77,14 @@ func (ch *DatagramChannel) LocalAddr() transport.Addr { return ch.ep.LocalAddr()
 
 // Close closes the underlying endpoint.
 func (ch *DatagramChannel) Close() error { return ch.ep.Close() }
+
+// SendStats reports the channel's send-side counters: bursts handed to the
+// LLP's BatchSender, total wire segments emitted, and the segment-buffer
+// pool's hit/miss counts.
+func (ch *DatagramChannel) SendStats() (batches, segments, poolHits, poolMisses int64) {
+	poolHits, poolMisses = ch.pool.Stats()
+	return ch.batches.Load(), ch.segments.Load(), poolHits, poolMisses
+}
 
 // Recycle returns a fully-consumed receive buffer (a Segment's Raw field)
 // to the transport when it supports recycling; otherwise it is a no-op.
@@ -75,6 +111,11 @@ func (ch *DatagramChannel) SendTagged(to transport.Addr, stag memreg.STag, toff 
 	return ch.send(to, &Segment{Tagged: true, STag: stag, TO: toff, MSN: msn, RDMAP: rdmapCtrl}, payload)
 }
 
+// send cuts one message into per-segment pooled buffers — header, payload
+// range, CRC32C trailer — and hands them to the LLP in bursts. Buffer
+// ownership: every buffer is drawn from ch.pool, passed down while the LLP
+// call is in flight (the LLP must not retain it, per the transport
+// contract), and returned to the pool here before send returns.
 func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.Vec) error {
 	total := payload.Len()
 	if uint64(total) > uint64(^uint32(0)) {
@@ -83,16 +124,69 @@ func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.V
 	proto.MsgLen = uint32(total)
 	maxSeg := ch.ep.MaxDatagram() - proto.HeaderLen() - crcx.Size
 
-	ch.sendMu.Lock()
-	defer ch.sendMu.Unlock()
+	if ch.batch == nil {
+		return ch.sendUnbatched(to, proto, payload, maxSeg, total)
+	}
+
+	pktsp := ch.batchBuf.Get().(*[][]byte)
+	pkts := (*pktsp)[:0]
+	flush := func() error {
+		if len(pkts) == 0 {
+			return nil
+		}
+		_, err := ch.batch.SendBatch(pkts, to)
+		ch.batches.Add(1)
+		ch.segments.Add(int64(len(pkts)))
+		for i, p := range pkts {
+			ch.pool.Put(p)
+			pkts[i] = nil
+		}
+		pkts = pkts[:0]
+		return err
+	}
 	off := 0
 	for {
 		n := min(maxSeg, total-off)
 		proto.Last = off+n == total
-		pkt := AppendHeader(ch.sendBuf[:0], proto)
-		pkt = payload.Slice(off, n).AppendTo(pkt)
+		pkt := AppendHeader(ch.pool.Get(), proto)
+		pkt = payload.AppendRange(pkt, off, n)
 		pkt = nio.PutU32(pkt, crcx.Checksum(pkt))
-		ch.sendBuf = pkt[:0]
+		pkts = append(pkts, pkt)
+		off += n
+		if proto.Tagged {
+			proto.TO += uint64(n)
+		} else {
+			proto.MO += uint32(n)
+		}
+		if proto.Last || len(pkts) == maxBatchSegments {
+			if err := flush(); err != nil {
+				*pktsp = pkts
+				ch.batchBuf.Put(pktsp)
+				return err
+			}
+			if proto.Last {
+				*pktsp = pkts
+				ch.batchBuf.Put(pktsp)
+				return nil
+			}
+		}
+	}
+}
+
+// sendUnbatched is the per-packet fallback for LLPs without BatchSender:
+// one pooled buffer is reused across the message's segments, with no shared
+// channel state, so concurrent senders still do not serialize.
+func (ch *DatagramChannel) sendUnbatched(to transport.Addr, proto *Segment, payload nio.Vec, maxSeg, total int) error {
+	buf := ch.pool.Get()
+	defer ch.pool.Put(buf)
+	off := 0
+	for {
+		n := min(maxSeg, total-off)
+		proto.Last = off+n == total
+		pkt := AppendHeader(buf[:0], proto)
+		pkt = payload.AppendRange(pkt, off, n)
+		pkt = nio.PutU32(pkt, crcx.Checksum(pkt))
+		ch.segments.Add(1)
 		if err := ch.ep.SendTo(pkt, to); err != nil {
 			return err
 		}

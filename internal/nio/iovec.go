@@ -76,6 +76,34 @@ func (v Vec) Slice(off, n int) Vec {
 	return out
 }
 
+// AppendRange appends bytes [off, off+n) of the logical message to dst and
+// returns the extended slice. It is the allocation-free equivalent of
+// v.Slice(off, n).AppendTo(dst) — the segmented send path cuts messages with
+// it without materializing a sub-vector per segment. It panics if the range
+// is out of bounds, mirroring Go slice semantics.
+func (v Vec) AppendRange(dst []byte, off, n int) []byte {
+	if off < 0 || n < 0 || off+n > v.Len() {
+		panic(fmt.Sprintf("nio: Vec.AppendRange(%d, %d) out of range for length %d", off, n, v.Len()))
+	}
+	for _, s := range v {
+		if n == 0 {
+			break
+		}
+		if off >= len(s) {
+			off -= len(s)
+			continue
+		}
+		take := len(s) - off
+		if take > n {
+			take = n
+		}
+		dst = append(dst, s[off:off+take]...)
+		off = 0
+		n -= take
+	}
+	return dst
+}
+
 // AppendTo appends the vector's bytes to dst and returns the extended slice.
 func (v Vec) AppendTo(dst []byte) []byte {
 	for _, s := range v {

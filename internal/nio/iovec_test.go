@@ -138,6 +138,44 @@ func TestVecSliceMatchesFlatQuick(t *testing.T) {
 	}
 }
 
+func TestVecAppendRangeMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	v := VecOf(make([]byte, 13), make([]byte, 0), make([]byte, 29), make([]byte, 7))
+	for _, s := range v {
+		rng.Read(s)
+	}
+	total := v.Len()
+	for trial := 0; trial < 200; trial++ {
+		off := rng.Intn(total + 1)
+		n := rng.Intn(total - off + 1)
+		want := v.Slice(off, n).AppendTo([]byte("prefix"))
+		got := v.AppendRange([]byte("prefix"), off, n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendRange(%d, %d) diverges from Slice+AppendTo", off, n)
+		}
+	}
+}
+
+func TestVecAppendRangePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRange past the end did not panic")
+		}
+	}()
+	VecOf([]byte("abc")).AppendRange(nil, 2, 5)
+}
+
+func TestVecAppendRangeAllocFree(t *testing.T) {
+	v := VecOf(make([]byte, 100), make([]byte, 100))
+	dst := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(500, func() {
+		dst = v.AppendRange(dst[:0], 37, 120)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRange allocates %.2f times per run, want 0", allocs)
+	}
+}
+
 func TestPool(t *testing.T) {
 	p := NewPool(64)
 	if p.BufSize() != 64 {

@@ -1,6 +1,14 @@
 package nio
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultMaxIdle bounds how many free buffers a Pool retains; beyond it,
+// Put drops the buffer for the GC. 256 idle buffers at the 64 KB datagram
+// size is ~16 MB — a bounded slab, like an RNIC's receive ring.
+const defaultMaxIdle = 256
 
 // Pool hands out fixed-capacity byte buffers and recycles them, bounding the
 // allocation rate of the datapath. It is safe for concurrent use.
@@ -8,9 +16,20 @@ import "sync"
 // A Pool models the receive-buffer slab an RNIC would carve out of host
 // memory: Get always returns a zero-length slice with the pool's capacity so
 // stale payload bytes can never leak between messages.
+//
+// The free list is a mutex-guarded stack of slice headers rather than a
+// sync.Pool: storing a []byte in an interface (or re-boxing a *[]byte on
+// every Put) costs one 24-byte allocation per recycle, which would defeat
+// the zero-alloc send path. The critical section is a pointer push/pop, so
+// the lock is held for a few nanoseconds.
 type Pool struct {
-	size int
-	p    sync.Pool
+	size    int
+	maxIdle int
+	gets    atomic.Int64
+	misses  atomic.Int64
+
+	mu   sync.Mutex
+	free [][]byte
 }
 
 // NewPool returns a pool of buffers with capacity size bytes.
@@ -18,12 +37,7 @@ func NewPool(size int) *Pool {
 	if size <= 0 {
 		panic("nio: NewPool size must be positive")
 	}
-	pl := &Pool{size: size}
-	pl.p.New = func() any {
-		b := make([]byte, 0, size)
-		return &b
-	}
-	return pl
+	return &Pool{size: size, maxIdle: defaultMaxIdle}
 }
 
 // BufSize reports the capacity of buffers handed out by the pool.
@@ -31,15 +45,38 @@ func (pl *Pool) BufSize() int { return pl.size }
 
 // Get returns an empty buffer with the pool's capacity.
 func (pl *Pool) Get() []byte {
-	return (*pl.p.Get().(*[]byte))[:0]
+	pl.gets.Add(1)
+	pl.mu.Lock()
+	if n := len(pl.free); n > 0 {
+		b := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.mu.Unlock()
+		return b[:0]
+	}
+	pl.mu.Unlock()
+	pl.misses.Add(1)
+	return make([]byte, 0, pl.size)
 }
 
 // Put recycles a buffer previously returned by Get. Buffers of foreign
-// capacity are dropped so the pool's size invariant holds.
+// capacity are dropped so the pool's size invariant holds; so are buffers
+// beyond the idle bound, to keep the slab's memory footprint fixed.
 func (pl *Pool) Put(b []byte) {
 	if cap(b) != pl.size {
 		return
 	}
-	b = b[:0]
-	pl.p.Put(&b)
+	pl.mu.Lock()
+	if len(pl.free) < pl.maxIdle {
+		pl.free = append(pl.free, b[:0])
+	}
+	pl.mu.Unlock()
+}
+
+// Stats reports the pool's hit/miss counters: hits are Gets served from a
+// recycled buffer, misses are Gets that had to allocate. Their ratio is the
+// datapath's pool hit rate.
+func (pl *Pool) Stats() (hits, misses int64) {
+	m := pl.misses.Load()
+	return pl.gets.Load() - m, m
 }

@@ -1,0 +1,85 @@
+package nio
+
+import "testing"
+
+func TestPoolRecycleInvariant(t *testing.T) {
+	pl := NewPool(128)
+	a := pl.Get()
+	if len(a) != 0 || cap(a) != 128 {
+		t.Fatalf("Get: len=%d cap=%d, want 0/128", len(a), cap(a))
+	}
+	// Dirty the buffer, recycle it, and take it back out.
+	a = append(a, 0xAA, 0xBB, 0xCC)
+	first := &a[:1][0]
+	pl.Put(a)
+	b := pl.Get()
+	if &b[:1][0] != first {
+		t.Fatal("Get after Put must hand back the recycled buffer's storage")
+	}
+	if len(b) != 0 {
+		t.Fatalf("recycled Get: len=%d, want 0 — stale payload bytes must not be visible", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("recycled Get: cap=%d, want 128", cap(b))
+	}
+}
+
+func TestPoolDropsForeignCapacity(t *testing.T) {
+	pl := NewPool(64)
+	warm := pl.Get()
+	pl.Put(warm) // one known-good buffer in the free list
+	pl.Put(make([]byte, 0, 65))
+	pl.Put(make([]byte, 0, 1))
+	pl.Put(nil)
+	if got := pl.Get(); cap(got) != 64 {
+		t.Fatalf("pool handed out a foreign buffer of cap %d", cap(got))
+	}
+	if got := pl.Get(); cap(got) != 64 {
+		t.Fatalf("pool handed out a foreign buffer of cap %d", cap(got))
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	pl := NewPool(32)
+	a := pl.Get() // miss
+	pl.Put(a)
+	pl.Get() // hit
+	pl.Get() // miss
+	hits, misses := pl.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("Stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestPoolIdleBound(t *testing.T) {
+	pl := NewPool(8)
+	bufs := make([][]byte, defaultMaxIdle+10)
+	for i := range bufs {
+		bufs[i] = pl.Get()
+	}
+	for _, b := range bufs {
+		pl.Put(b)
+	}
+	pl.mu.Lock()
+	idle := len(pl.free)
+	pl.mu.Unlock()
+	if idle != defaultMaxIdle {
+		t.Fatalf("free list holds %d buffers, want the %d bound", idle, defaultMaxIdle)
+	}
+}
+
+// TestPoolGetPutAllocFree pins the recycle loop itself at zero allocations:
+// if Put ever re-boxes the slice header (the sync.Pool failure mode), every
+// pooled send would pay one allocation per segment.
+func TestPoolGetPutAllocFree(t *testing.T) {
+	pl := NewPool(256)
+	pl.Put(pl.Get()) // warm: the one legitimate allocation
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := pl.Get()
+		b = append(b, 1, 2, 3)
+		pl.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get/Put cycle allocates %.2f times per run, want 0", allocs)
+	}
+}

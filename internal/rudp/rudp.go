@@ -57,6 +57,15 @@ var ErrPeerDead = errors.New("rudp: peer unreachable (retries exhausted)")
 type Endpoint struct {
 	inner transport.Datagram
 
+	// pool recycles DATA wire buffers (header + payload). A buffer lives
+	// from SendTo until the packet is acknowledged AND no transmission is
+	// in flight (pending.inFlight tracks sends that have been handed to the
+	// inner transport but not yet returned).
+	pool *nio.Pool
+	// ackPool recycles the small ACK wire buffers, which are released as
+	// soon as the inner SendTo returns (the transport does not retain them).
+	ackPool *nio.Pool
+
 	mu     sync.Mutex
 	peers  map[transport.Addr]*peerState
 	closed bool
@@ -89,15 +98,19 @@ type pending struct {
 	lastSent time.Time
 	rto      time.Duration
 	retries  int
+	inFlight int  // transmissions handed to inner and not yet returned (guarded by e.mu)
+	acked    bool // removed from the window; recycle payload when inFlight drains
 }
 
 // New wraps inner with reliability. The Endpoint owns inner and closes it.
 func New(inner transport.Datagram) *Endpoint {
 	e := &Endpoint{
-		inner: inner,
-		peers: make(map[transport.Addr]*peerState),
-		inbox: make(chan message, 1024),
-		done:  make(chan struct{}),
+		inner:   inner,
+		pool:    nio.NewPool(inner.MaxDatagram()),
+		ackPool: nio.NewPool(ackLen),
+		peers:   make(map[transport.Addr]*peerState),
+		inbox:   make(chan message, 1024),
+		done:    make(chan struct{}),
 	}
 	e.wg.Add(2)
 	go e.recvLoop()
@@ -123,6 +136,31 @@ func (e *Endpoint) peer(a transport.Addr) *peerState {
 // seqLE reports a ≤ b in wraparound-aware serial arithmetic.
 func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
 
+// release marks a pending packet as out of the window and recycles its wire
+// buffer once no transmission still references it. Caller holds e.mu.
+func (e *Endpoint) release(pd *pending) {
+	pd.acked = true
+	if pd.inFlight == 0 && pd.payload != nil {
+		e.pool.Put(pd.payload)
+		pd.payload = nil
+	}
+}
+
+// finishSends drops one in-flight reference from each pending packet, and
+// recycles buffers whose packet was acknowledged while the transmission was
+// on the wire.
+func (e *Endpoint) finishSends(pds ...*pending) {
+	e.mu.Lock()
+	for _, pd := range pds {
+		pd.inFlight--
+		if pd.acked && pd.inFlight == 0 && pd.payload != nil {
+			e.pool.Put(pd.payload)
+			pd.payload = nil
+		}
+	}
+	e.mu.Unlock()
+}
+
 // SendTo implements transport.Datagram. It blocks while the peer's send
 // window is full and returns ErrPeerDead if the peer stops acknowledging.
 func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
@@ -144,17 +182,21 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 		if len(ps.unacked) < windowSize {
 			seq := ps.nextSeq
 			ps.nextSeq++
-			buf := make([]byte, 0, headerLen+len(p))
+			buf := e.pool.Get()
 			buf = append(buf, typeData, 0)
 			buf = nio.PutU32(buf, seq)
 			buf = append(buf, p...)
-			ps.unacked[seq] = &pending{
+			pd := &pending{
 				payload:  buf,
 				lastSent: time.Now(),
 				rto:      initialRTO,
+				inFlight: 1,
 			}
+			ps.unacked[seq] = pd
 			e.mu.Unlock()
-			return e.inner.SendTo(buf, to)
+			err := e.inner.SendTo(buf, to)
+			e.finishSends(pd)
+			return err
 		}
 		wait := ps.sendWait
 		e.mu.Unlock()
@@ -252,6 +294,7 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 
 	// ACK first so the sender's window opens even if our inbox is full.
 	_ = e.inner.SendTo(ack, from)
+	e.ackPool.Put(ack)
 	for _, m := range deliverables {
 		select {
 		case e.inbox <- m:
@@ -271,7 +314,7 @@ func (e *Endpoint) buildAck(ps *peerState) []byte {
 			bitmap |= 1 << i
 		}
 	}
-	buf := make([]byte, 0, ackLen)
+	buf := e.ackPool.Get()
 	buf = append(buf, typeAck, 0)
 	buf = nio.PutU32(buf, cum)
 	buf = nio.PutU32(buf, bitmap)
@@ -285,12 +328,14 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	e.mu.Lock()
 	ps := e.peer(from)
 	freed := false
-	for seq := range ps.unacked {
+	for seq, pd := range ps.unacked {
 		if seqLE(seq, cum) {
 			delete(ps.unacked, seq)
+			e.release(pd)
 			freed = true
 		} else if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
 			delete(ps.unacked, seq)
+			e.release(pd)
 			freed = true
 		}
 	}
@@ -318,8 +363,8 @@ func (e *Endpoint) retransmitLoop() {
 		}
 		now := time.Now()
 		type resend struct {
-			payload []byte
-			to      transport.Addr
+			pd *pending
+			to transport.Addr
 		}
 		var rs []resend
 		e.mu.Lock()
@@ -338,12 +383,17 @@ func (e *Endpoint) retransmitLoop() {
 				if pd.rto > maxRTO {
 					pd.rto = maxRTO
 				}
-				rs = append(rs, resend{payload: pd.payload, to: addr})
+				// Hold an in-flight reference so a concurrent ack cannot
+				// recycle (and another sender overwrite) the buffer while
+				// the retransmission reads it.
+				pd.inFlight++
+				rs = append(rs, resend{pd: pd, to: addr})
 			}
 		}
 		e.mu.Unlock()
 		for _, r := range rs {
-			_ = e.inner.SendTo(r.payload, r.to)
+			_ = e.inner.SendTo(r.pd.payload, r.to)
+			e.finishSends(r.pd)
 		}
 	}
 }

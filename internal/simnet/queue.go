@@ -114,6 +114,39 @@ func (q *queue) get(timeout time.Duration) (packet, error) {
 	}
 }
 
+// putBatch appends a burst of packets under one lock acquisition, blocking
+// while the queue is full, and returns the number enqueued. This is the
+// receive-side half of transport.BatchSender: a whole segmented message
+// costs one (or a few, under backpressure) lock round-trips instead of one
+// per packet. Packets not enqueued on close are recycled here.
+func (q *queue) putBatch(pkts []packet) (int, error) {
+	i := 0
+	for i < len(pkts) {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			for _, pk := range pkts[i:] {
+				putPktBuf(pk.payload)
+			}
+			return i, transport.ErrClosed
+		}
+		for i < len(pkts) && len(q.q) < q.cap {
+			q.q = append(q.q, pkts[i])
+			i++
+		}
+		q.mu.Unlock()
+		pulse(q.avail)
+		if i == len(pkts) {
+			return i, nil
+		}
+		select {
+		case <-q.space:
+		case <-q.done:
+		}
+	}
+	return i, nil
+}
+
 // putDrop appends pkt without blocking, dropping it when the queue is full
 // (ack traffic: losing one is harmless, the next ack is cumulative).
 func (q *queue) putDrop(pkt packet) {

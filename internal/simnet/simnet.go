@@ -233,7 +233,10 @@ type DatagramEndpoint struct {
 	q    *queue
 }
 
-var _ transport.Datagram = (*DatagramEndpoint)(nil)
+var (
+	_ transport.Datagram    = (*DatagramEndpoint)(nil)
+	_ transport.BatchSender = (*DatagramEndpoint)(nil)
+)
 
 // SendTo implements transport.Datagram. The payload is copied, fragmented
 // against the MTU, subjected to the loss/duplication/reordering models, and
@@ -295,6 +298,83 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 		return send(packet{payload: dupBuf, from: e.addr})
 	}
 	return nil
+}
+
+// SendBatch implements transport.BatchSender: the whole burst is subjected
+// to the per-datagram impairment models, copied into pooled packet buffers,
+// and enqueued at the destination under a single queue lock — the simulated
+// analogue of a sendmmsg burst. Multicast destinations and latency-shaped
+// networks fall back to per-packet SendTo (both deliver asynchronously, so
+// there is no shared lock to amortize).
+func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, error) {
+	nw := e.net
+	if IsGroupAddr(to) || nw.cfg.Latency > 0 {
+		for i, p := range pkts {
+			if err := e.SendTo(p, to); err != nil {
+				return i, err
+			}
+		}
+		return len(pkts), nil
+	}
+	for _, p := range pkts {
+		if len(p) > nw.cfg.MaxDatagram {
+			return 0, transport.ErrTooLarge
+		}
+	}
+	dst, ok := nw.lookupDatagram(to)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
+	}
+	loss := nw.lossMicro.Load()
+	batch := make([]packet, 0, len(pkts))
+	orig := make([]int, 0, len(pkts)) // source datagram index per batch slot
+	for i, p := range pkts {
+		nw.sent.Add(1)
+		nw.bytes.Add(int64(len(p)))
+		k := nw.fragments(len(p))
+		nw.frags.Add(int64(k))
+		dropped := false
+		for f := 0; f < k; f++ {
+			if nw.chance(loss) {
+				nw.lost.Add(1)
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue // handed to the network and lost there: still "sent"
+		}
+		buf := getPktBuf(len(p))
+		copy(buf, p)
+		pk := packet{payload: buf, from: e.addr}
+		if nw.chance(nw.reorderMicro.Load()) && len(batch) > 0 {
+			nw.reorder.Add(1)
+			last := len(batch) - 1
+			batch = append(batch, batch[last])
+			orig = append(orig, orig[last])
+			batch[last] = pk
+			orig[last] = i
+		} else {
+			batch = append(batch, pk)
+			orig = append(orig, i)
+		}
+		if nw.chance(nw.dupMicro.Load()) {
+			nw.dup.Add(1)
+			dupBuf := getPktBuf(len(p))
+			copy(dupBuf, p)
+			batch = append(batch, packet{payload: dupBuf, from: e.addr})
+			orig = append(orig, i)
+		}
+	}
+	enq, err := dst.q.putBatch(batch)
+	if err != nil {
+		sent := 0
+		if enq > 0 {
+			sent = orig[enq-1] + 1
+		}
+		return sent, fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
+	}
+	return len(pkts), nil
 }
 
 // Recv implements transport.Datagram.

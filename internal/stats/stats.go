@@ -13,18 +13,25 @@ import (
 // Summary accumulates a stream of float64 observations and reports count,
 // mean, min, max, and standard deviation. The zero value is ready to use.
 type Summary struct {
-	n          int
-	mean, m2   float64
-	min, max   float64
-	everybodyy bool // set after first Add (internal flag; name avoids clash)
+	n        int
+	mean, m2 float64
+	min, max float64
+	seen     bool // set after the first recorded observation
 }
 
-// Add records one observation.
+// Add records one observation. NaN inputs are rejected (silently dropped):
+// one NaN would otherwise poison mean, m2, and every comparison-based field
+// for the rest of the stream, so a timing glitch upstream (e.g. a 0/0
+// throughput sample) must not corrupt a whole benchmark series. Infinities
+// are recorded as given.
 func (s *Summary) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	s.n++
-	if !s.everybodyy {
+	if !s.seen {
 		s.min, s.max = x, x
-		s.everybodyy = true
+		s.seen = true
 	} else {
 		if x < s.min {
 			s.min = x

@@ -39,6 +39,35 @@ func TestSummaryNegativeFirst(t *testing.T) {
 	}
 }
 
+func TestSummaryRejectsNaN(t *testing.T) {
+	var s Summary
+	s.Add(math.NaN())
+	if s.N() != 0 || s.seen {
+		t.Fatal("leading NaN must not count as an observation")
+	}
+	s.Add(3)
+	s.Add(math.NaN())
+	s.Add(5)
+	if s.N() != 2 {
+		t.Fatalf("N = %d, want 2 (NaN dropped)", s.N())
+	}
+	if s.Mean() != 4 || s.Min() != 3 || s.Max() != 5 {
+		t.Fatalf("Mean/Min/Max = %v/%v/%v, want 4/3/5", s.Mean(), s.Min(), s.Max())
+	}
+	if math.IsNaN(s.Stddev()) {
+		t.Fatal("Stddev poisoned by NaN input")
+	}
+}
+
+func TestSummaryRecordsInfinities(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(math.Inf(1))
+	if s.N() != 2 || !math.IsInf(s.Max(), 1) {
+		t.Fatalf("N/Max = %d/%v: infinities are documented as recorded", s.N(), s.Max())
+	}
+}
+
 func TestSamplePercentiles(t *testing.T) {
 	var s Sample
 	if s.Percentile(50) != 0 {

@@ -64,6 +64,8 @@ func (a Addr) IsZero() bool { return a.Node == "" && a.Port == 0 }
 type Datagram interface {
 	// SendTo transmits one datagram to the destination. It may block for
 	// flow control but never blocks awaiting the receiver's application.
+	// Implementations must not retain p after SendTo returns: the caller
+	// may recycle the buffer immediately, as a pooled datapath does.
 	SendTo(p []byte, to Addr) error
 	// Recv returns the next datagram and its source. A zero timeout blocks
 	// until data or close; otherwise ErrTimeout is returned when the
@@ -78,6 +80,21 @@ type Datagram interface {
 	PathMTU() int
 	// Close releases the endpoint; concurrent Recv calls return ErrClosed.
 	Close() error
+}
+
+// BatchSender is an optional interface a Datagram implementation may
+// provide: SendBatch transmits a burst of datagrams to one destination,
+// amortizing per-send costs (address resolution, queue locking, eventually
+// sendmmsg) across the batch. It returns the number of datagrams handed to
+// the network before any error. Loss models and kernel drops do NOT count
+// as errors — like SendTo, handing a datagram to a lossy network succeeds.
+// Implementations must not retain any packet buffer after returning, so
+// callers can recycle the whole batch immediately.
+//
+// The segmented DDP send path probes for this interface once per message
+// and falls back to per-packet SendTo when it is absent.
+type BatchSender interface {
+	SendBatch(pkts [][]byte, to Addr) (int, error)
 }
 
 // Recycler is an optional interface a Datagram implementation may provide:

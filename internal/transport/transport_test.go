@@ -51,6 +51,45 @@ func TestUDPEndpointRoundTrip(t *testing.T) {
 	}
 }
 
+func TestUDPEndpointSendBatch(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var bs BatchSender = a // the UDP endpoint must satisfy the optional interface
+	pkts := [][]byte{[]byte("seg0"), []byte("seg1"), []byte("seg2")}
+	n, err := bs.SendBatch(pkts, b.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pkts) {
+		t.Fatalf("SendBatch sent %d, want %d", n, len(pkts))
+	}
+	seen := map[string]bool{}
+	for range pkts {
+		got, _, err := b.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(got)] = true
+	}
+	for _, p := range pkts {
+		if !seen[string(p)] {
+			t.Fatalf("packet %q never arrived", p)
+		}
+	}
+	// Oversized packets must be rejected before anything hits the wire.
+	if n, err := bs.SendBatch([][]byte{{1}, make([]byte, MaxDatagramSize+1)}, b.LocalAddr()); n != 0 || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized batch: n=%d err=%v", n, err)
+	}
+}
+
 func TestUDPEndpointTimeout(t *testing.T) {
 	a, err := ListenUDP("127.0.0.1", 0)
 	if err != nil {

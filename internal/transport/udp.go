@@ -37,24 +37,65 @@ func ListenUDP(host string, port uint16) (*UDPEndpoint, error) {
 	return &UDPEndpoint{conn: conn, mtu: DefaultMTU}, nil
 }
 
+// resolve maps a transport.Addr to a UDP socket address.
+func resolve(to Addr) (*net.UDPAddr, error) {
+	ip := net.ParseIP(to.Node)
+	if ip == nil {
+		addrs, err := net.LookupIP(to.Node)
+		if err != nil || len(addrs) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoRoute, to)
+		}
+		ip = addrs[0]
+	}
+	return &net.UDPAddr{IP: ip, Port: int(to.Port)}, nil
+}
+
 // SendTo implements Datagram.
 func (e *UDPEndpoint) SendTo(p []byte, to Addr) error {
 	if len(p) > MaxDatagramSize {
 		return ErrTooLarge
 	}
-	ip := net.ParseIP(to.Node)
-	if ip == nil {
-		addrs, err := net.LookupIP(to.Node)
-		if err != nil || len(addrs) == 0 {
-			return fmt.Errorf("%w: %s", ErrNoRoute, to)
-		}
-		ip = addrs[0]
+	ua, err := resolve(to)
+	if err != nil {
+		return err
 	}
-	_, err := e.conn.WriteToUDP(p, &net.UDPAddr{IP: ip, Port: int(to.Port)})
+	_, err = e.conn.WriteToUDP(p, ua)
 	if err != nil && errors.Is(err, net.ErrClosed) {
 		return ErrClosed
 	}
 	return err
+}
+
+// SendBatch implements BatchSender: the destination is resolved once and the
+// burst is handed to writeBatch. Kernel-side sends still go out one syscall
+// at a time; batching today buys single resolution and branch-free looping,
+// and concentrates the per-burst transmit in one function so a sendmmsg(2)
+// implementation is a drop-in replacement for writeBatch alone.
+func (e *UDPEndpoint) SendBatch(pkts [][]byte, to Addr) (int, error) {
+	for _, p := range pkts {
+		if len(p) > MaxDatagramSize {
+			return 0, ErrTooLarge
+		}
+	}
+	ua, err := resolve(to)
+	if err != nil {
+		return 0, err
+	}
+	return e.writeBatch(pkts, ua)
+}
+
+// writeBatch transmits a resolved burst. This is the sendmmsg seam: replace
+// the loop with one vectored syscall and nothing above it changes.
+func (e *UDPEndpoint) writeBatch(pkts [][]byte, ua *net.UDPAddr) (int, error) {
+	for i, p := range pkts {
+		if _, err := e.conn.WriteToUDP(p, ua); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				err = ErrClosed
+			}
+			return i, err
+		}
+	}
+	return len(pkts), nil
 }
 
 // Recv implements Datagram.
