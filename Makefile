@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-datapath check clean
+.PHONY: all build test race vet lint fuzz-short bench bench-datapath check clean
 
 all: build
 
@@ -16,6 +16,21 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Custom datapath invariants (DESIGN.md §4.5): poolcheck, hotpath,
+# wirecheck, errflow — compiled into one vettool and run over the module.
+bin/diwarp-vet: $(shell find cmd/diwarp-vet internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o bin/diwarp-vet ./cmd/diwarp-vet
+
+lint: bin/diwarp-vet
+	$(GO) vet -vettool=bin/diwarp-vet ./...
+
+# Wire-format fuzzers, 10s each (separate invocations: go test allows only
+# one -fuzz target per run).
+fuzz-short:
+	$(GO) test ./internal/mpa -run='^$$' -fuzz=FuzzMPAHeader -fuzztime=10s
+	$(GO) test ./internal/ddp -run='^$$' -fuzz=FuzzDDPSegment -fuzztime=10s
+	$(GO) test ./internal/rdmap -run='^$$' -fuzz=FuzzRDMAPHeader -fuzztime=10s
+
 # Full benchmark sweep: one benchmark per paper figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -25,4 +40,7 @@ bench-datapath:
 	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkChecksum' -benchmem -run=^$$ ./internal/ddp/ ./internal/crcx/
 
 # What CI should run.
-check: build vet test race
+check: build vet test race lint
+
+clean:
+	rm -rf bin

@@ -1,0 +1,28 @@
+// Command diwarp-vet is the project's vettool: a go vet driver bundling the
+// in-tree datapath analyzers (poolcheck, hotpath, wirecheck, errflow).
+//
+// Build it once, then point go vet at it:
+//
+//	go build -o bin/diwarp-vet ./cmd/diwarp-vet
+//	go vet -vettool=bin/diwarp-vet ./...
+//
+// `make lint` does exactly that. The analyzers and their contracts are
+// documented in DESIGN.md §4.5.
+package main
+
+import (
+	"repro/internal/analysis/errflow"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/poolcheck"
+	"repro/internal/analysis/unit"
+	"repro/internal/analysis/wirecheck"
+)
+
+func main() {
+	unit.Main(
+		poolcheck.Analyzer,
+		hotpath.Analyzer,
+		wirecheck.Analyzer,
+		errflow.Analyzer,
+	)
+}

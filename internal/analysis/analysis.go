@@ -1,0 +1,238 @@
+// Package analysis is a self-contained, standard-library-only analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write the
+// datapath-invariant linters in internal/analysis/{poolcheck,hotpath,
+// wirecheck,errflow} and drive them from "go vet -vettool" (see the unit
+// subpackage) and from fixture tests (see the analysistest subpackage).
+//
+// The subset is deliberate. The repo's analyzers are single-package and
+// fact-free, so the x/tools machinery for cross-package facts, analyzer
+// dependencies, and suggested fixes is omitted; what remains is the
+// Analyzer/Pass/Diagnostic triple plus the //diwarp: directive conventions
+// shared by every checker:
+//
+//	//diwarp:hotpath            annotates a function checked by hotpath
+//	//diwarp:acquire            annotates a function whose []byte result is a
+//	                            pooled buffer (tracked by poolcheck like
+//	                            nio.Pool.Get)
+//	//diwarp:ignore name[,name] suppresses the named analyzers' diagnostics
+//	                            on the comment's line and the line below it
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// //diwarp:ignore comments. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank line,
+	// then details.
+	Doc string
+
+	// Run applies the analyzer to a single package. Diagnostics are
+	// delivered through pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the drivers
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// directivePrefix introduces every in-source annotation the suite consumes.
+const directivePrefix = "//diwarp:"
+
+// HasDirective reports whether the doc comment group carries the given
+// //diwarp: directive (e.g. HasDirective(fn.Doc, "hotpath")). Directives are
+// whole-line machine comments in the style of //go: directives: no space
+// after the slashes, directive name terminated by end of line or a space.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c.Text); ok && d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective extracts the directive name from a //diwarp:name[ args]
+// comment, reporting whether the comment is a directive at all.
+func parseDirective(text string) (string, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// ignoresIn collects //diwarp:ignore suppressions from a file. The returned
+// map is keyed by line number; the value is the set of analyzer names (or
+// "all") suppressed on that line. A suppression comment covers its own line
+// and, when it is the only thing on its line, the line that follows — so
+// both trailing comments and comments-above work:
+//
+//	e.doBestEffort() //diwarp:ignore errflow — reason
+//
+//	//diwarp:ignore errflow — reason
+//	e.doBestEffort()
+func ignoresIn(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	var ignores map[int]map[string]bool
+	add := func(line int, names []string) {
+		if ignores == nil {
+			ignores = make(map[int]map[string]bool)
+		}
+		set := ignores[line]
+		if set == nil {
+			set = make(map[string]bool)
+			ignores[line] = set
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c.Text)
+			if !ok || d != "ignore" {
+				continue
+			}
+			args := strings.TrimPrefix(c.Text, directivePrefix+"ignore")
+			// Everything after the analyzer list is rationale; the list
+			// itself is the first whitespace-delimited token.
+			args = strings.TrimSpace(args)
+			names := []string{"all"}
+			if args != "" {
+				if i := strings.IndexAny(args, " \t"); i >= 0 {
+					args = args[:i]
+				}
+				names = strings.Split(args, ",")
+			}
+			pos := fset.Position(c.Pos())
+			add(pos.Line, names)
+			add(pos.Line+1, names)
+		}
+	}
+	return ignores
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos is
+// silenced by a //diwarp:ignore comment.
+func suppressed(ignores map[int]map[string]bool, fset *token.FileSet, pos token.Pos, name string) bool {
+	if len(ignores) == 0 {
+		return false
+	}
+	set := ignores[fset.Position(pos).Line]
+	return set["all"] || set[name]
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics (suppressions applied), ordered by position. It is the single
+// execution path shared by the vettool driver and analysistest, so fixture
+// tests exercise exactly what "go vet -vettool" runs.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := make(map[*ast.File]map[int]map[string]bool)
+	for _, f := range files {
+		ignores[f] = ignoresIn(fset, f)
+	}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			if f := fileOf(d.Pos); f != nil && suppressed(ignores[f], fset, d.Pos, a.Name) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, out)
+	return out, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	// Insertion sort keeps the package dependency-free; diagnostic counts
+	// are tiny.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(fset, ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func less(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	if pa.Column != pb.Column {
+		return pa.Column < pb.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// populated, shared by the drivers.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,210 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against // want comments, mirroring (a subset of)
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live in GOPATH-style trees: Run(t, dir, analyzer, "pkgpath")
+// loads every .go file under dir/src/pkgpath, type-checks the package — its
+// imports resolve recursively against the same dir/src tree, so a fixture
+// needing fmt or nio imports a stub defined in testdata rather than the
+// real standard library — and applies the analyzer through the same
+// analysis.Run path "go vet -vettool" uses, //diwarp:ignore suppression
+// included.
+//
+// Expectations are trailing comments on the line the diagnostic must point
+// at:
+//
+//	pool.Get() // want `may leak`
+//
+// The backquoted string is a regexp matched against the diagnostic message;
+// several on one line each require a distinct diagnostic. Diagnostics with
+// no matching want, and wants with no matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies the analyzer to each named fixture package under dir/src and
+// reports mismatches against the fixtures' // want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		t.Run(pkgpath, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a, pkgpath)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analysis.Run(ld.fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, ld.fset, lp.files)
+
+	// Match each diagnostic to the first unconsumed want on its line whose
+	// regexp accepts the message.
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE extracts the quoted patterns of a want comment; both `...` and
+// "..." quote a pattern.
+var wantRE = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)")
+var patRE = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loader type-checks fixture packages from a src tree, resolving imports
+// recursively within the same tree.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func (ld *loader) load(pkgpath string) (*loaded, error) {
+	if lp, ok := ld.pkgs[pkgpath]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %q", pkgpath)
+		}
+		return lp, nil
+	}
+	ld.pkgs[pkgpath] = nil // cycle marker
+
+	pkgdir := filepath.Join(ld.root, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", pkgpath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", pkgpath)
+	}
+
+	info := analysis.NewTypesInfo()
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			lp, err := ld.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return lp.pkg, nil
+		}),
+	}
+	pkg, err := tc.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", pkgpath, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[pkgpath] = lp
+	return lp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathHasSegment reports whether the package import path contains seg as a
+// complete "/"-separated element — so "repro/internal/ddp" matches "ddp" but
+// "repro/internal/ddputil" does not. Analyzers use it to scope themselves to
+// the protocol layers named in their contracts while still matching the
+// single-segment import paths of analysistest fixtures.
+func PathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := strings.IndexByte(path, '/')
+		if i < 0 {
+			return path == seg
+		}
+		if path[:i] == seg {
+			return true
+		}
+		path = path[i+1:]
+	}
+	return false
+}
+
+// PathHasAnySegment reports whether the import path contains any of the
+// given segments.
+func PathHasAnySegment(path string, segs ...string) bool {
+	for _, s := range segs {
+		if PathHasSegment(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgNameOf resolves an identifier used as the X of a selector to the
+// imported package it names, or nil.
+func PkgNameOf(info *types.Info, e ast.Expr) *types.Package {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// ReceiverPkgPath returns the import path of the package declaring the
+// method called by the selector-based call, or "" when the callee is not a
+// method (or not resolvable). It sees through pointers and named types:
+// a call mu.Lock() with mu a sync.Mutex field yields "sync".
+func ReceiverPkgPath(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil {
+		return fn.Pkg().Path()
+	}
+	return ""
+}
+
+// NamedOf unwraps pointers and aliases to the *types.Named beneath t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamedType reports whether t (possibly behind pointers) is the named type
+// pkgSegment.typeName, where pkgSegment must appear as a path segment of the
+// declaring package ("nio".Pool matches both repro/internal/nio and a
+// fixture package imported as plain "nio").
+func IsNamedType(t types.Type, pkgSegment, typeName string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return PathHasSegment(obj.Pkg().Path(), pkgSegment)
+}
+
+// CalleeFuncDecl resolves a call to the *types.Func it invokes, or nil for
+// builtins, conversions, and indirect calls through function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsBuiltinCall reports whether the call invokes the named universe builtin
+// (len, cap, copy, append, ...).
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// ObjectOf returns the object an identifier expression denotes, or nil.
+func ObjectOf(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}

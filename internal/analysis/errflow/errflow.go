@@ -1,0 +1,144 @@
+// Package errflow forbids silently discarded errors on the I/O layers the
+// datagram stack's correctness leans on: transport, rudp, simnet, and
+// sockif. The paper's loss model makes error returns the ONLY signal that a
+// send or queue hand-off failed — a dropped error there is an invisible
+// lost datagram with no counter, no retransmission, and no recycled buffer.
+//
+// Within those packages (test files excluded) the analyzer reports:
+//
+//   - a call used as a statement whose results include an error;
+//   - an error result assigned to the blank identifier, whether alone
+//     (_ = conn.Send(b)) or in a tuple (n, _ := conn.Read(b)).
+//
+// `defer c.Close()` stays legal: cleanup-path Close errors have no receiver.
+// Genuinely best-effort calls (socket-option tuning, advisory messages) are
+// suppressed case by case with //diwarp:ignore errflow and a rationale, so
+// every silent discard in the tree is a reviewed decision rather than an
+// accident (DESIGN.md §4.5).
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the discarded-error checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "no discarded errors on transport/rudp I/O paths\n\n" +
+		"Reports calls whose error result is dropped (statement calls and blank\n" +
+		"assignments) in the transport, rudp, simnet, and sockif packages.",
+	Run: run,
+}
+
+// scope lists the import-path segments the analyzer applies to.
+var scope = []string{"transport", "rudp", "simnet", "sockif"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySegment(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if resultsContainError(pass, call, isErr) {
+					pass.Reportf(call.Pos(), "error result of %s is discarded (handle it, or //diwarp:ignore errflow with a reason)", calleeName(call))
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n, isErr)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resultsContainError reports whether any result of the call has type error.
+func resultsContainError(pass *analysis.Pass, call *ast.CallExpr, isErr func(types.Type) bool) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErr(t)
+	}
+}
+
+// checkBlankAssign reports error results assigned to the blank identifier.
+func checkBlankAssign(pass *analysis.Pass, s *ast.AssignStmt, isErr func(types.Type) bool) {
+	blankAt := func(i int) bool {
+		id, ok := s.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+
+	// Multi-value form: n, _ := conn.Read(b) — one call, tuple results.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tup, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok || tup.Len() != len(s.Lhs) {
+			return // comma-ok assertions and the like
+		}
+		for i := 0; i < tup.Len(); i++ {
+			if blankAt(i) && isErr(tup.At(i).Type()) {
+				pass.Reportf(s.Lhs[i].Pos(), "error result of %s is assigned to _ (handle it, or //diwarp:ignore errflow with a reason)", calleeName(call))
+			}
+		}
+		return
+	}
+
+	// 1:1 positions: _ = conn.Send(b).
+	if len(s.Rhs) == len(s.Lhs) {
+		for i := range s.Lhs {
+			if !blankAt(i) {
+				continue
+			}
+			call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if t := pass.TypesInfo.Types[call].Type; t != nil && isErr(t) {
+				pass.Reportf(s.Lhs[i].Pos(), "error result of %s is assigned to _ (handle it, or //diwarp:ignore errflow with a reason)", calleeName(call))
+			}
+		}
+	}
+}
+
+// calleeName renders the called function for diagnostics: pkg.Fn, recv.Meth,
+// or the raw expression text for indirect calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

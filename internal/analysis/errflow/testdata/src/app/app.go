@@ -1,0 +1,10 @@
+// Package app sits outside errflow's scope (no transport/rudp/simnet/sockif
+// path segment): identical discards draw no diagnostics here.
+package app
+
+func fallible() error { return nil }
+
+func g() {
+	fallible()
+	_ = fallible()
+}

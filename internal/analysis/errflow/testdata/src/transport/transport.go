@@ -1,0 +1,38 @@
+// Package transport exercises errflow inside a scoped package (path
+// segment "transport"): statement-level and blank-assigned error discards
+// are flagged; handled errors, defers, error-free calls, and reviewed
+// //diwarp:ignore suppressions are not.
+package transport
+
+type Conn struct{}
+
+func (Conn) Send(b []byte) error          { return nil }
+func (Conn) Read(b []byte) (int, error)   { return 0, nil }
+func (Conn) Close() error                 { return nil }
+func (Conn) Len() int                     { return 0 }
+func (Conn) Lookup(k int) (string, bool)  { return "", false }
+
+func bad(c Conn, b []byte) {
+	c.Send(b)         // want `error result of c.Send is discarded`
+	_ = c.Send(b)     // want `error result of c.Send is assigned to _`
+	n, _ := c.Read(b) // want `error result of c.Read is assigned to _`
+	_ = n
+}
+
+func good(c Conn, b []byte) error {
+	defer c.Close() // cleanup-path Close has no receiver for its error
+	if err := c.Send(b); err != nil {
+		return err
+	}
+	n, err := c.Read(b)
+	if err != nil {
+		return err
+	}
+	_ = n
+	c.Len()              // no error result
+	v, _ := c.Lookup(1)  // comma-ok, not an error
+	_ = v
+	//diwarp:ignore errflow — fixture: reviewed best-effort send
+	c.Send(b)
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package hotpath checks functions annotated //diwarp:hotpath against the
+// datapath performance contract established in DESIGN.md §4.4: the batched
+// send path runs with zero heap allocations and no lock acquisition, so the
+// compiler-invisible costs a reviewer would have to spot by eye — a stray
+// fmt call, a map literal, a value boxed into an interface — are mechanical
+// findings here instead.
+//
+// Within an annotated function body the analyzer rejects:
+//
+//   - calls into package fmt (formatting allocates and convTs its operands;
+//     cold error paths must be outlined into unannotated helpers);
+//   - make and new (direct allocations);
+//   - map, slice, and pointer-to-composite literals (heap allocations; plain
+//     struct value literals stay on the stack and are allowed);
+//   - blocking synchronization: method calls such as Lock/RLock/Wait/Do on
+//     types from package sync (sync.Pool.Get/Put and everything in
+//     sync/atomic remain allowed — pools and atomics ARE the hot path's
+//     tools), channel sends, receives, and select statements, and spawning
+//     goroutines;
+//   - implicit boxing: passing, returning, or assigning a concrete
+//     non-pointer-shaped value where an interface is expected (each such
+//     conversion is a runtime convT allocation on the fast path).
+//
+// The check is intra-procedural by design: annotating a function asserts
+// its own body, not its callees'. Callees that must uphold the contract get
+// their own annotation.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpath invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //diwarp:hotpath may not allocate, lock, call fmt, or box interfaces\n\n" +
+		"Enforces the zero-alloc, lock-free send-path contract of DESIGN.md §4.4.",
+	Run: run,
+}
+
+// syncBlocking lists the methods of package sync that acquire a lock or
+// block. sync.Pool's Get/Put and sync/atomic are deliberately absent.
+var syncBlocking = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Wait": true, "Do": true,
+	"Range": true, "LoadOrStore": true, "LoadAndDelete": true, "Delete": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hotpath function %s spawns a goroutine", fn.Name.Name)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "hotpath function %s blocks on select", fn.Name.Name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "hotpath function %s sends on a channel", fn.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "hotpath function %s receives from a channel", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hotpath function %s allocates a map literal", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hotpath function %s allocates a slice literal", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		}
+		return true
+	})
+
+	// &T{...} escapes to the heap when the pointer outlives the statement;
+	// on a zero-alloc path the address-of-composite idiom is banned outright.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if _, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				pass.Reportf(u.Pos(), "hotpath function %s heap-allocates &composite literal", fn.Name.Name)
+			}
+		}
+		return true
+	})
+
+	checkBoxing(pass, fn)
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if analysis.IsBuiltinCall(info, call, "make") || analysis.IsBuiltinCall(info, call, "new") {
+		pass.Reportf(call.Pos(), "hotpath function %s allocates with %s", fn.Name.Name, ast.Unparen(call.Fun).(*ast.Ident).Name)
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.* call?
+	if pkg := analysis.PkgNameOf(info, sel.X); pkg != nil && pkg.Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hotpath function %s calls fmt.%s (outline cold formatting into an unannotated helper)", fn.Name.Name, sel.Sel.Name)
+		return
+	}
+	// Blocking sync method?
+	if analysis.ReceiverPkgPath(info, sel) == "sync" && syncBlocking[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "hotpath function %s takes a lock via sync method %s", fn.Name.Name, sel.Sel.Name)
+	}
+}
+
+// checkBoxing reports implicit concrete-to-interface conversions in call
+// arguments, returns, and assignments. Pointer-shaped values (pointers,
+// channels, maps, funcs) convert without allocating and are allowed.
+func checkBoxing(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	boxes := func(dst types.Type, src ast.Expr) bool {
+		if dst == nil {
+			return false
+		}
+		if _, ok := dst.Underlying().(*types.Interface); !ok {
+			return false
+		}
+		tv, ok := info.Types[src]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		st := tv.Type
+		if st == types.Typ[types.UntypedNil] {
+			return false
+		}
+		switch st.Underlying().(type) {
+		case *types.Interface:
+			return false // already an interface: no conversion
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			return false // direct-interface representation: no allocation
+		}
+		if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+			return false
+		}
+		return true
+	}
+	report := func(pos ast.Node, src ast.Expr, what string) {
+		tv := info.Types[src]
+		pass.Reportf(pos.Pos(), "hotpath function %s boxes %s into an interface (%s)", fn.Name.Name, tv.Type, what)
+	}
+
+	// Result types for return checking come from the innermost enclosing
+	// function — the annotated declaration or a nested func literal.
+	var outerSig *types.Signature
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		outerSig = obj.Type().(*types.Signature)
+	}
+	var lits []*ast.FuncLit
+	sigAt := func(pos token.Pos) *types.Signature {
+		sig := outerSig
+		for _, lit := range lits {
+			if lit.Pos() <= pos && pos < lit.End() {
+				if s, ok := info.Types[lit].Type.(*types.Signature); ok {
+					sig = s
+				}
+			}
+		}
+		return sig
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sig := signatureOf(info, n)
+			if sig == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				pt := paramType(sig, i, n.Ellipsis.IsValid())
+				if boxes(pt, arg) {
+					report(arg, arg, "call argument")
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := sigAt(n.Pos())
+			if sig == nil || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				if boxes(sig.Results().At(i).Type(), res) {
+					report(res, res, "return value")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				lt, ok := info.Types[n.Lhs[i]]
+				if !ok {
+					continue
+				}
+				if boxes(lt.Type, n.Rhs[i]) {
+					report(n.Rhs[i], n.Rhs[i], "assignment")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// signatureOf returns the signature of the called function, or nil for
+// builtins and conversions.
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type the i'th argument converts to, accounting for
+// variadic parameters; nil when out of range (e.g. conversion exprs).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && !ellipsis {
+		last := params.Len() - 1
+		if i >= last {
+			if sl, ok := params.At(last).Type().(*types.Slice); ok {
+				return sl.Elem()
+			}
+			return nil
+		}
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package a exercises hotpath: every banned construct inside an annotated
+// function, the allowed idioms (sync.Pool, append, pointer-shaped interface
+// values), and the same constructs unflagged without the annotation.
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type sink interface{ accept() }
+
+type value struct{ n int }
+
+func (value) accept() {}
+
+var mu sync.Mutex
+var pool sync.Pool
+
+func take(s sink) {}
+
+//diwarp:hotpath
+func badAllocs(n int) {
+	s := make([]byte, n) // want `allocates with make`
+	_ = s
+	m := map[int]int{} // want `allocates a map literal`
+	_ = m
+	sl := []int{1, 2} // want `allocates a slice literal`
+	_ = sl
+	p := &value{n} // want `heap-allocates`
+	_ = p
+}
+
+//diwarp:hotpath
+func badLockAndFmt(n int) string {
+	mu.Lock() // want `takes a lock`
+	mu.Unlock()
+	return fmt.Sprintf("%d", n) // want `calls fmt.Sprintf` `boxes`
+}
+
+//diwarp:hotpath
+func badConcurrency(c chan int) {
+	go take(nil) // want `spawns a goroutine`
+	c <- 1       // want `sends on a channel`
+	<-c          // want `receives from a channel`
+}
+
+//diwarp:hotpath
+func badBoxing(v value) sink {
+	take(v)  // want `boxes`
+	return v // want `boxes`
+}
+
+//diwarp:hotpath
+func goodHotLoop(b []byte, vs []value) int {
+	x := pool.Get() // sync.Pool is the hot path's tool, not a lock
+	pool.Put(x)
+	b = append(b, 0) // append into an existing buffer is not a literal
+	v := value{n: len(b)}
+	take(&v) // pointer-shaped: direct interface value, no convT
+	total := 0
+	for _, e := range vs {
+		total += e.n
+	}
+	return total
+}
+
+// coldPath shows the outlining idiom: the same constructs are fine in an
+// unannotated helper.
+func coldPath(n int) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,14 @@
+// Package sync is the fixture stand-in for the real sync: hotpath bans the
+// blocking methods of any type declared in a package whose import path is
+// exactly "sync", while Pool.Get/Put stay allowed.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type Pool struct{ x any }
+
+func (p *Pool) Get() any  { return p.x }
+func (p *Pool) Put(v any) {}

@@ -1,0 +1,772 @@
+// Package poolcheck enforces the pooled-buffer ownership protocol of
+// DESIGN.md §4.4: a buffer drawn from an nio.Pool must, on every path
+// through the acquiring function, reach exactly one release — a Put back to
+// a pool, a Recycle, or a hand-off (passed to a callee, stored into a
+// longer-lived structure, captured by a closure, or returned to the caller,
+// all of which transfer ownership under the transport contract). After an
+// explicit Put the buffer must never be touched again: not read, not
+// re-Put, and in particular not regrown with append — the bug class that
+// poisons a pool with foreign backing arrays or recycles memory still
+// referenced by an in-flight send (the rudp refcounting bug family from
+// PR 1).
+//
+// The analysis is intra-procedural and path-approximate: it walks each
+// function's statements in order, forking state at branches and merging
+// conservatively (a buffer released on only some arms is neither reported
+// as leaked nor trusted as released). Acquisitions are calls to
+// nio.Pool.Get and to same-package functions annotated //diwarp:acquire.
+// It reports:
+//
+//   - "may leak": a return (or fall-off-the-end) is reachable while an
+//     acquired buffer has neither been released nor handed off;
+//   - "used after Put": any mention of the buffer after its pool release
+//     on the same path, including append regrowth and a second Put.
+//
+// False positives are suppressed with //diwarp:ignore poolcheck and a
+// rationale (see DESIGN.md §4.5).
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pooled-buffer ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "pooled buffers must reach exactly one Put or hand-off on every path\n\n" +
+		"Tracks nio.Pool.Get results (and //diwarp:acquire functions) through the\n" +
+		"acquiring function: reports paths that leak the buffer and any use after\n" +
+		"its release, including append regrowth and double Put.",
+	Run: run,
+}
+
+// status is the per-path ownership state of a tracked buffer variable.
+type status int
+
+const (
+	live     status = iota // acquired, not yet released or handed off
+	released               // explicitly Put: any further mention is a bug
+	done                   // handed off / deferred release / reported: stop tracking
+)
+
+type varState struct {
+	status status
+	getPos token.Pos // acquisition site, where leaks are reported
+}
+
+// state maps tracked buffer variables to their path state.
+type state map[*types.Var]*varState
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		cv := *v
+		c[k] = &cv
+	}
+	return c
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	acquires map[*types.Func]bool // same-package //diwarp:acquire functions
+	reported map[token.Pos]bool   // leak dedup by acquisition site
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		acquires: make(map[*types.Func]bool),
+		reported: make(map[token.Pos]bool),
+	}
+	// First pass: collect //diwarp:acquire functions declared in this
+	// package so their call results are tracked like Pool.Get results.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && analysis.HasDirective(fn.Doc, "acquire") {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					c.acquires[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue // tests exercise leaks deliberately
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				st := make(state)
+				terminated := c.walkStmts(fn.Body.List, st)
+				if !terminated {
+					c.reportLeaks(st, fn.Body.Rbrace)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.FileStart).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// isAcquire reports whether the call yields a tracked pooled buffer.
+func (c *checker) isAcquire(call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if c.acquires[fn] {
+		return true
+	}
+	if fn.Name() != "Get" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsNamedType(sig.Recv().Type(), "nio", "Pool")
+}
+
+// isReleaseCall reports whether the call releases one of its arguments by
+// name: a Put (pool release) or Recycle (transport release). The returned
+// flag distinguishes Put — after which any use is an error — from hand-off
+// style releases.
+func isReleaseCall(call *ast.CallExpr) (isPut bool, ok bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false, false
+	}
+	switch name {
+	case "Put":
+		return true, true
+	case "Recycle", "Release":
+		return false, true
+	}
+	return false, false
+}
+
+// mentions reports whether expression tree e uses variable v.
+func (c *checker) mentions(e ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// varOf resolves an expression to the variable it denotes, or nil.
+func (c *checker) varOf(e ast.Expr) *types.Var {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			return v
+		}
+		if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) reportLeaks(st state, at token.Pos) {
+	for v, vs := range st {
+		if vs.status == live && !c.reported[vs.getPos] {
+			c.reported[vs.getPos] = true
+			c.pass.Reportf(vs.getPos, "pooled buffer %s may leak: a path reaches %s without Put, Recycle, or hand-off", v.Name(), c.pass.Fset.Position(at))
+		}
+	}
+}
+
+// checkUseAfterRelease reports any mention of a released buffer within the
+// expression trees of a leaf statement, then stops tracking the variable so
+// one bug yields one diagnostic.
+func (c *checker) checkUseAfterRelease(n ast.Node, st state) {
+	for v, vs := range st {
+		if vs.status != released {
+			continue
+		}
+		if c.mentions(n, v) {
+			// Distinguish the double-release for a clearer message.
+			msg := "pooled buffer %s used after Put: the pool may recycle it concurrently"
+			if call := releaseCallTaking(n, v, c); call != nil {
+				msg = "pooled buffer %s released twice"
+			}
+			c.pass.Reportf(firstUse(n, v, c), msg, v.Name())
+			vs.status = done
+		}
+	}
+}
+
+// releaseCallTaking finds a Put/Recycle call within n taking v, or nil.
+func releaseCallTaking(n ast.Node, v *types.Var, c *checker) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isRel := isReleaseCall(call); !isRel {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.varOf(arg) == v {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// firstUse returns the position of v's first mention inside n.
+func firstUse(n ast.Node, v *types.Var, c *checker) token.Pos {
+	pos := n.Pos()
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == v {
+			pos = id.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// walkStmts walks a statement sequence, mutating st, and reports whether the
+// sequence always terminates control flow (return, panic, or branch).
+func (c *checker) walkStmts(stmts []ast.Stmt, st state) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt processes one statement; true means control does not fall
+// through to the next statement.
+func (c *checker) walkStmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.leafEffects(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := c.walkStmt(s.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseSt)
+		}
+		mergeInto(st, branch{thenSt, thenTerm}, branch{elseSt, elseTerm})
+		return thenTerm && elseTerm
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.leafEffects(s.Cond, st)
+		}
+		bodySt := st.clone()
+		c.walkStmt(s.Body, bodySt)
+		if s.Post != nil {
+			c.walkStmt(s.Post, bodySt)
+		}
+		// The body runs zero or more times: merge the zero-iteration state
+		// with the one-iteration state.
+		mergeInto(st, branch{st.clone(), false}, branch{bodySt, false})
+		// A `for {}` with no condition only exits via return/break inside;
+		// treat as terminating when the zero-iteration path is impossible.
+		return s.Cond == nil && s.Init == nil && !hasBreak(s.Body)
+
+	case *ast.RangeStmt:
+		c.leafEffects(s.X, st)
+		bodySt := st.clone()
+		if s.Key != nil {
+			c.leafEffects(s.Key, bodySt)
+		}
+		if s.Value != nil {
+			c.leafEffects(s.Value, bodySt)
+		}
+		c.walkStmt(s.Body, bodySt)
+		mergeInto(st, branch{st.clone(), false}, branch{bodySt, false})
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.leafEffects(s.Tag, st)
+		}
+		return c.walkCases(s.Body, st, !hasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.leafEffects(s.Assign, st)
+		return c.walkCases(s.Body, st, !hasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		return c.walkCases(s.Body, st, false)
+
+	default:
+		// Leaf statement: assignment, expression, return, defer, go, decl...
+		return c.leafStmt(s, st)
+	}
+}
+
+type branch struct {
+	st         state
+	terminated bool
+}
+
+// mergeInto merges branch exit states into st. Per variable: released on
+// every non-terminated branch stays released; live on any branch stays live
+// (so a later leak report fires); anything mixed stops being tracked.
+func mergeInto(st state, branches ...branch) {
+	alive := branches[:0]
+	for _, b := range branches {
+		if !b.terminated {
+			alive = append(alive, b)
+		}
+	}
+	if len(alive) == 0 {
+		// Unreachable fall-through: nothing to merge; silence tracking.
+		for _, vs := range st {
+			vs.status = done
+		}
+		return
+	}
+	for v, vs := range st {
+		anyLive, allReleased := false, true
+		for _, b := range alive {
+			bvs, ok := b.st[v]
+			if !ok {
+				continue
+			}
+			if bvs.status == live {
+				anyLive = true
+			}
+			if bvs.status != released {
+				allReleased = false
+			}
+		}
+		switch {
+		case allReleased:
+			vs.status = released
+		case anyLive:
+			vs.status = live
+		default:
+			vs.status = done
+		}
+	}
+	// Adopt variables first acquired inside a branch (e.g. Get under an if):
+	// live there must stay visible for leak checks after the merge.
+	for _, b := range alive {
+		for v, bvs := range b.st {
+			if _, ok := st[v]; !ok {
+				cv := *bvs
+				st[v] = &cv
+			}
+		}
+	}
+}
+
+// walkCases walks the case clauses of a switch/select body; implicitFall
+// adds the no-case-taken path (switch without default).
+func (c *checker) walkCases(body *ast.BlockStmt, st state, implicitFall bool) bool {
+	var branches []branch
+	allTerm := !implicitFall
+	if implicitFall {
+		branches = append(branches, branch{st.clone(), false})
+	}
+	for _, cl := range body.List {
+		caseSt := st.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.leafEffects(e, caseSt)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, caseSt)
+			}
+			stmts = cl.Body
+		}
+		term := c.walkStmts(stmts, caseSt)
+		if !term {
+			allTerm = false
+		}
+		branches = append(branches, branch{caseSt, term})
+	}
+	if len(branches) > 0 {
+		mergeInto(st, branches...)
+	}
+	return allTerm && len(body.List) > 0
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBreak reports whether the loop body contains a break that exits it
+// (approximate: any break not inside a nested loop/switch/select).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // breaks inside bind to the inner construct
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, walk)
+	}
+	return found
+}
+
+// leafStmt handles a non-control statement: checks use-after-release, then
+// applies acquisition, release, and hand-off effects.
+func (c *checker) leafStmt(s ast.Stmt, st state) bool {
+	if as, ok := s.(*ast.AssignStmt); ok {
+		// Rebinding a released variable (pool.Put(v); v = pool.Get()) is
+		// legal: scan only the right-hand sides and non-identifier
+		// left-hand sides (x.f = ..., v[i] = ...) for use-after-Put, not
+		// the identifiers being bound.
+		for _, e := range as.Rhs {
+			c.checkUseAfterRelease(e, st)
+		}
+		for _, e := range as.Lhs {
+			if _, isIdent := ast.Unparen(e).(*ast.Ident); !isIdent {
+				c.checkUseAfterRelease(e, st)
+			}
+		}
+		c.assignEffects(as, st)
+		return false
+	}
+
+	c.checkUseAfterRelease(s, st)
+
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for v, vs := range st {
+			if vs.status != live {
+				continue
+			}
+			if returnMentions(s, v, c) {
+				vs.status = done // ownership to the caller
+			}
+		}
+		c.reportLeaks(st, s.Pos())
+		return true
+
+	case *ast.BranchStmt:
+		return true
+
+	case *ast.DeferStmt:
+		// defer pool.Put(v) releases at return: safe on every path, and
+		// later (pre-return) uses are legal. Stop tracking.
+		if _, ok := isReleaseCall(s.Call); ok {
+			for _, arg := range s.Call.Args {
+				if v := c.varOf(arg); v != nil {
+					if vs, ok := st[v]; ok && vs.status == live {
+						vs.status = done
+					}
+				}
+			}
+			return false
+		}
+		c.leafEffects(s.Call, st)
+		return false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if isPanic(c, call) {
+				c.leafEffects(call, st)
+				return true
+			}
+		}
+		c.leafEffects(s.X, st)
+		return false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vsp, ok := spec.(*ast.ValueSpec); ok {
+					c.declEffects(vsp, st)
+				}
+			}
+		}
+		return false
+
+	case *ast.GoStmt:
+		c.leafEffects(s.Call, st)
+		return false
+
+	default:
+		c.leafEffects(s, st)
+		return false
+	}
+}
+
+func isPanic(c *checker, call *ast.CallExpr) bool {
+	return analysis.IsBuiltinCall(c.pass.TypesInfo, call, "panic")
+}
+
+func returnMentions(s *ast.ReturnStmt, v *types.Var, c *checker) bool {
+	for _, r := range s.Results {
+		if c.mentions(r, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignEffects applies an assignment's ownership effects.
+func (c *checker) assignEffects(s *ast.AssignStmt, st state) {
+	// Position-matched effects only make sense for 1:1 assignments; tuple
+	// forms fall through to the generic mention scan below.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			lv := c.varOf(s.Lhs[i])
+			rhs := s.Rhs[i]
+
+			// v := pool.Get()  /  v = pool.Get(): start tracking.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isAcquire(call) {
+				if lv != nil && isByteSlice(lv.Type()) {
+					st[lv] = &varState{status: live, getPos: call.Pos()}
+					continue
+				}
+			}
+
+			// v = append(v, ...)  /  v = f(v, ...): the buffer flows through
+			// an append-style call back into itself — still the same tracked
+			// buffer (regrowth before release is the datapath idiom; only
+			// use after Put is a bug, handled by checkUseAfterRelease).
+			if lv != nil {
+				if vs, ok := st[lv]; ok {
+					switch vs.status {
+					case live:
+						if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && callTakes(call, lv, c) {
+							// Other tracked vars mentioned in this rhs still
+							// escape below; restrict the scan to them.
+							c.handoffMentions(rhs, st, lv)
+							continue
+						}
+						// v = <something else>: rebound; the old buffer either
+						// escaped earlier or leaks — we cannot tell. Stop.
+						c.handoffMentions(rhs, st, lv)
+						vs.status = done
+						continue
+					case released:
+						// Rebound after Put: v now names a fresh value, so
+						// stop policing the old buffer through this name.
+						c.handoffMentions(rhs, st, lv)
+						vs.status = done
+						continue
+					}
+				}
+			}
+
+			// Any tracked var mentioned on this rhs (w := v, x.f = v,
+			// pkts = append(pkts, v), structs, nested calls): hand-off.
+			c.handoffMentions(rhs, st, nil)
+		}
+		return
+	}
+	for _, rhs := range s.Rhs {
+		c.handoffMentions(rhs, st, nil)
+	}
+}
+
+func (c *checker) declEffects(spec *ast.ValueSpec, st state) {
+	for i, name := range spec.Names {
+		if i < len(spec.Values) {
+			if call, ok := ast.Unparen(spec.Values[i]).(*ast.CallExpr); ok && c.isAcquire(call) {
+				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok && isByteSlice(v.Type()) {
+					st[v] = &varState{status: live, getPos: call.Pos()}
+					continue
+				}
+			}
+		}
+	}
+	for _, val := range spec.Values {
+		c.handoffMentions(val, st, nil)
+	}
+}
+
+// leafEffects scans an expression tree for ownership events: explicit
+// releases (Put/Recycle calls) and hand-offs (any other non-builtin call or
+// closure capturing a tracked buffer).
+func (c *checker) leafEffects(n ast.Node, st state) {
+	c.checkUseAfterRelease(n, st)
+	c.handoffMentions(n, st, nil)
+}
+
+// handoffMentions processes every mention of tracked variables within n:
+// a Put marks the buffer released (arming use-after-release), any other
+// call argument, composite literal, closure capture, or slice alias marks
+// it handed off. Borrow-only builtins (len, cap, copy, ...) and plain
+// indexing leave the buffer live. except is exempted (the self-append case).
+func (c *checker) handoffMentions(n ast.Node, st state, except *types.Var) {
+	info := c.pass.TypesInfo
+	for v, vs := range st {
+		if v == except || vs.status != live || !c.mentions(n, v) {
+			continue
+		}
+		effect := c.classifyUse(n, v)
+		switch effect {
+		case usePut:
+			vs.status = released
+		case useHandoff:
+			vs.status = done
+		case useBorrow:
+			// still live
+		}
+	}
+	_ = info
+}
+
+type useKind int
+
+const (
+	useBorrow useKind = iota
+	usePut
+	useHandoff
+)
+
+// borrowBuiltins read a buffer without retaining it.
+var borrowBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "min": true, "max": true,
+	"println": true, "print": true, "panic": true, "clear": true,
+}
+
+// classifyUse determines the strongest ownership effect of v's mentions
+// within n: Put > hand-off > borrow.
+func (c *checker) classifyUse(n ast.Node, v *types.Var) useKind {
+	info := c.pass.TypesInfo
+	result := useBorrow
+	promote := func(k useKind) {
+		if k > result {
+			result = k
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			takes := false
+			for _, arg := range x.Args {
+				if c.varOf(arg) == v {
+					takes = true
+				}
+			}
+			if !takes {
+				return true // v may appear deeper (e.g. inside an arg expr)
+			}
+			if isPut, ok := isReleaseCall(x); ok {
+				if isPut {
+					promote(usePut)
+				} else {
+					promote(useHandoff)
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isB := info.Uses[id].(*types.Builtin); isB {
+					if borrowBuiltins[id.Name] {
+						return true
+					}
+					if id.Name == "append" {
+						// append(other, v...) folds v into another slice.
+						promote(useHandoff)
+						return true
+					}
+					return true
+				}
+			}
+			promote(useHandoff)
+		case *ast.CompositeLit:
+			if c.mentions(x, v) {
+				promote(useHandoff)
+			}
+			return false
+		case *ast.FuncLit:
+			if c.mentions(x, v) {
+				promote(useHandoff) // closure capture outlives this walk
+			}
+			return false
+		case *ast.SliceExpr:
+			if c.varOf(x.X) == v {
+				promote(useHandoff) // alias created: v[a:b] escapes tracking
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && c.mentions(x.X, v) {
+				promote(useHandoff)
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// callTakes reports whether v appears among the call's direct arguments.
+func callTakes(call *ast.CallExpr, v *types.Var, c *checker) bool {
+	for _, arg := range call.Args {
+		if c.varOf(arg) == v {
+			return true
+		}
+		// append-style wrappers take the buffer as a slice of itself:
+		// v = nio.PutU32(v[:0], x).
+		if se, ok := ast.Unparen(arg).(*ast.SliceExpr); ok && c.varOf(se.X) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

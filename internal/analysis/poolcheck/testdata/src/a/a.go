@@ -1,0 +1,89 @@
+// Package a exercises poolcheck: leaks, use-after-Put, double Put, and the
+// legal idioms (defer release, self-append regrowth, hand-offs) that must
+// stay silent.
+package a
+
+import "nio"
+
+var pool = &nio.Pool{}
+
+func consume(b []byte) {}
+
+// leakOnBranch releases only when n > 0: the fall-through path leaks.
+func leakOnBranch(n int) {
+	b := pool.Get() // want `may leak`
+	if n > 0 {
+		pool.Put(b)
+	}
+}
+
+// leakOnReturn leaks on the early return, not the releasing path.
+func leakOnReturn(n int) int {
+	b := pool.Get() // want `may leak`
+	if n > 0 {
+		return n
+	}
+	pool.Put(b)
+	return 0
+}
+
+func useAfterPut() {
+	b := pool.Get()
+	pool.Put(b)
+	b = append(b, 1) // want `used after Put`
+	_ = b
+}
+
+func doublePut() {
+	b := pool.Get()
+	pool.Put(b)
+	pool.Put(b) // want `released twice`
+}
+
+// okStraightLine is the canonical cut-append-release shape of the send path.
+func okStraightLine(v uint32) {
+	b := pool.Get()
+	b = nio.PutU32(b, v)
+	b = append(b, 0xff)
+	pool.Put(b)
+}
+
+// okDefer releases via defer; later (pre-return) uses are legal.
+func okDefer(v uint32) {
+	b := pool.Get()
+	defer pool.Put(b)
+	b = nio.PutU32(b, v)
+	consume(b)
+}
+
+// okBothArms releases on every branch.
+func okBothArms(n int) {
+	b := pool.Get()
+	if n > 0 {
+		pool.Put(b)
+	} else {
+		pool.Put(b)
+	}
+}
+
+// okReturn transfers ownership to the caller.
+func okReturn() []byte {
+	b := pool.Get()
+	return b
+}
+
+// okHandoff transfers ownership to the callee (the wire hand-off: the
+// transport or a queue now owns the buffer).
+func okHandoff() {
+	b := pool.Get()
+	consume(b)
+}
+
+// okRebindAfterPut re-acquires into the same variable: legal, and the new
+// buffer is tracked in its own right.
+func okRebindAfterPut() {
+	b := pool.Get()
+	pool.Put(b)
+	b = pool.Get()
+	pool.Put(b)
+}

@@ -1,0 +1,16 @@
+// Package nio is the fixture stand-in for repro/internal/nio: poolcheck
+// keys its acquire/release tracking on the nio.Pool type by name and
+// package segment, so this stub's single-segment import path "nio" matches.
+package nio
+
+// Pool mimics the freelist the real datapath draws wire buffers from.
+type Pool struct{ size int }
+
+func (pl *Pool) Get() []byte  { return make([]byte, 0, pl.size) }
+func (pl *Pool) Put(b []byte) {}
+
+// PutU32 mimics the append-style wire helpers the send path regrows
+// buffers through.
+func PutU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,214 @@
+// Package unit implements the command-line protocol "go vet -vettool="
+// expects of an analysis driver, against the in-tree analysis framework.
+// It is a standard-library-only reimplementation of the subset of
+// golang.org/x/tools/go/analysis/unitchecker this repo needs (no
+// cross-package facts, no analyzer dependency graph).
+//
+// The protocol, fixed by cmd/go:
+//
+//	tool -V=full   print an executable fingerprint for the build cache
+//	tool -flags    print the tool's analyzer flags as JSON
+//	tool unit.cfg  analyze one compilation unit described by a JSON file
+//
+// For each package, cmd/go writes a .cfg naming the unit's Go files and the
+// export-data files of everything it imports (the same files the compiler
+// consumed), so the unit can be type-checked here without loading source of
+// its dependencies — and without any network or module cache.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description cmd/go hands to a
+// vettool. Field names are the wire contract; unused fields are retained so
+// the decoder accepts every config cmd/go produces.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary built on this driver.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the go command)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s unit.cfg\n\n%s is a go vet tool; invoke it via:\n\tgo vet -vettool=$(which %s) ./...\n\nAnalyzers:\n", progname, progname, progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "\t%-10s %s\n", a.Name, doc)
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		// No analyzer-specific flags: an empty JSON list tells cmd/go there
+		// is nothing extra to pass through.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+	}
+	if err := Run(args[0], analyzers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// versionFlag implements the -V=full fingerprint protocol: the go command
+// hashes the output into its action cache so analysis reruns when the tool
+// binary changes.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// Run analyzes the unit described by configFile and exits the process:
+// 0 for clean, 1 when diagnostics were reported.
+func Run(configFile string, analyzers []*analysis.Analyzer) error {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		return err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return fmt.Errorf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// cmd/go re-runs the tool for dependent packages expecting a facts file;
+	// this suite is fact-free, so an empty one satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	diags, err := check(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the same failure with a better
+			// message; stay silent here.
+			os.Exit(0)
+		}
+		return err
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	os.Exit(1)
+	return nil
+}
+
+// check parses and type-checks the unit, then runs the analyzers over it.
+func check(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export-data files the build system already
+	// produced for the compiler, via the lookup hook of the gc importer.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(fset, files, pkg, info, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,58 @@
+// Package ddp exercises wirecheck inside a scoped package (path segment
+// "ddp") that declares header-size constants: little-endian byte order,
+// manual little-endian assembly, and out-of-header constant offsets are
+// flagged; in-bounds big-endian access and append-style writers are not.
+package ddp
+
+import (
+	"encoding/binary"
+
+	"nio"
+)
+
+// The real package's header geometry: the bound rule uses the largest
+// matching constant, TaggedHdrLen.
+const (
+	UntaggedHdrLen = 18
+	TaggedHdrLen   = 22
+)
+
+func parseOK(b []byte) (uint32, uint32, uint64) {
+	msn := binary.BigEndian.Uint32(b[6:]) // [6,10): in bounds
+	mo := nio.U32(b[10:])                 // [10,14): in bounds
+	to := nio.U64(b[14:])                 // [14,22): exactly at the bound
+	return msn, mo, to
+}
+
+func parseBad(b []byte) (uint32, uint64) {
+	x := binary.BigEndian.Uint32(b[20:]) // want `exceeds TaggedHdrLen`
+	y := nio.U64(b[16:])                 // want `exceeds TaggedHdrLen`
+	return x, y
+}
+
+func writeBad(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b[19:], v) // want `exceeds TaggedHdrLen`
+}
+
+func writeOK(b []byte, v uint32) []byte {
+	binary.BigEndian.PutUint32(b[0:], v)
+	b = nio.PutU32(b, v)                    // append-style: exempt
+	return binary.BigEndian.AppendUint32(b, v) // append-style: exempt
+}
+
+func wrongOrder(b []byte, v uint32) uint16 {
+	binary.LittleEndian.PutUint32(b[0:], v) // want `use binary.BigEndian`
+	return binary.LittleEndian.Uint16(b)    // want `use binary.BigEndian`
+}
+
+func manualAssembly(b []byte) (uint32, uint32) {
+	le := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24 // want `little-endian byte assembly`
+	be := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	return le, be
+}
+
+// payload slices carry no header offset: a bare buffer argument is exempt
+// from the bound rule even for wide reads.
+func payloadRead(p []byte) uint64 {
+	return nio.U64(p)
+}

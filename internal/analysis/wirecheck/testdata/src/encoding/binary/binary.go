@@ -1,0 +1,28 @@
+// Package binary is the fixture stand-in for encoding/binary: wirecheck
+// recognizes the byte-order singletons and their fixed-width accessors by
+// the exact import path "encoding/binary", which this stub's testdata
+// location satisfies.
+package binary
+
+type bigEndian struct{}
+type littleEndian struct{}
+
+var (
+	BigEndian    bigEndian
+	LittleEndian littleEndian
+)
+
+func (bigEndian) Uint16(b []byte) uint16 { return 0 }
+func (bigEndian) Uint32(b []byte) uint32 { return 0 }
+func (bigEndian) Uint64(b []byte) uint64 { return 0 }
+
+func (bigEndian) PutUint16(b []byte, v uint16) {}
+func (bigEndian) PutUint32(b []byte, v uint32) {}
+func (bigEndian) PutUint64(b []byte, v uint64) {}
+
+func (bigEndian) AppendUint32(b []byte, v uint32) []byte { return b }
+
+func (littleEndian) Uint16(b []byte) uint16 { return 0 }
+func (littleEndian) Uint32(b []byte) uint32 { return 0 }
+
+func (littleEndian) PutUint32(b []byte, v uint32) {}

@@ -1,0 +1,11 @@
+// Package nio is the fixture stand-in for repro/internal/nio's wire
+// helpers: wirecheck recognizes the big-endian readers by name within any
+// package whose path has a "nio" segment.
+package nio
+
+func U16(b []byte) uint16 { return 0 }
+func U32(b []byte) uint32 { return 0 }
+func U64(b []byte) uint64 { return 0 }
+
+// PutU32 is append-style and therefore exempt from the offset-bound rule.
+func PutU32(b []byte, v uint32) []byte { return b }

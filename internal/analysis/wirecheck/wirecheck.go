@@ -1,0 +1,308 @@
+// Package wirecheck pins the wire-format invariants of the protocol
+// packages (mpa, ddp, rdmap, rudp, and the nio helpers): every header field
+// travels in network byte order, and every fixed-offset field access stays
+// inside the bounds the package itself declares for its headers. These are
+// the invariants a softiwarp-class stack silently corrupts memory over when
+// an offset constant and an access drift apart (PAPER.md §3).
+//
+// Within those packages (test files excluded) the analyzer reports:
+//
+//   - any use of binary.LittleEndian or binary.NativeEndian — wire formats
+//     here are big-endian by specification (RDMA Consortium framing);
+//   - manual little-endian byte assembly, i.e. an |-chain of shifted byte
+//     loads where the lower-indexed byte lands in the lower bits
+//     (uint32(b[0]) | uint32(b[1])<<8 | ...);
+//   - a fixed-width big-endian access at a constant offset whose end
+//     (offset + field width) exceeds every header-size constant the package
+//     declares: reading a uint32 at b[20:] in a package whose largest
+//     declared header length is 22 is an out-of-header access. The bound is
+//     the maximum over package-level integer constants whose name matches
+//     (Hdr|Header|Ack|Req|Frame|Trailer)(Len|Size), case-insensitively;
+//     packages that declare none skip this rule.
+//
+// Big-endian accesses are recognized in both spellings used by the tree:
+// encoding/binary's BigEndian methods and the nio.U16/U32/U64 read helpers.
+// The append-style nio.PutU* writers are bounds-safe by construction and
+// are exempt from the offset rule.
+package wirecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wire-format checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecheck",
+	Doc: "header access must be big-endian and inside declared header bounds\n\n" +
+		"Reports little-endian byte order, manual little-endian assembly, and\n" +
+		"constant-offset field accesses past the package's header-size constants\n" +
+		"in the mpa, ddp, rdmap, rudp, and nio packages.",
+	Run: run,
+}
+
+// scope lists the import-path segments holding wire codecs.
+var scope = []string{"mpa", "ddp", "rdmap", "rudp", "nio"}
+
+// headerConstRE matches the names of constants that declare header sizes.
+var headerConstRE = regexp.MustCompile(`(?i)(hdr|header|ack|req|frame|trailer)(len|size)$`)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasAnySegment(pass.Pkg.Path(), scope...) {
+		return nil
+	}
+	bound, boundName := headerBound(pass.Pkg)
+
+	// ast.Inspect visits an OR chain outermost-first; analyzing the top of
+	// each chain and remembering its nested ORs prevents double reports.
+	handled := make(map[*ast.BinaryExpr]bool)
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkByteOrder(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.OR && !handled[n] {
+					checkManualAssembly(pass, n, handled)
+				}
+			case *ast.CallExpr:
+				if bound > 0 {
+					checkOffset(pass, n, bound, boundName)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// headerBound returns the largest header-size constant the package declares
+// and its name, or (0, "").
+func headerBound(pkg *types.Package) (int64, string) {
+	var best int64
+	var name string
+	for _, n := range pkg.Scope().Names() {
+		cst, ok := pkg.Scope().Lookup(n).(*types.Const)
+		if !ok || !headerConstRE.MatchString(n) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(cst.Val()))
+		if !ok {
+			continue
+		}
+		if v > best {
+			best, name = v, n
+		}
+	}
+	return best, name
+}
+
+// checkByteOrder flags binary.LittleEndian / binary.NativeEndian.
+func checkByteOrder(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	if sel.Sel.Name != "LittleEndian" && sel.Sel.Name != "NativeEndian" {
+		return
+	}
+	pkg := analysis.PkgNameOf(pass.TypesInfo, sel.X)
+	if pkg == nil || pkg.Path() != "encoding/binary" {
+		return
+	}
+	pass.Reportf(sel.Pos(), "wire formats are big-endian: use binary.BigEndian (or the nio helpers), not binary.%s", sel.Sel.Name)
+}
+
+// accessWidth maps recognized big-endian accessors to their field width and
+// whether the offset rule applies (readers and offset writers yes,
+// append-style writers no).
+func accessWidth(pass *analysis.Pass, call *ast.CallExpr) (width int64, offsetRule bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	name := sel.Sel.Name
+
+	// binary.BigEndian.Uint32(b) / PutUint32(b, v) / AppendUint32(b, v):
+	// the receiver is encoding/binary's bigEndian singleton.
+	if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil {
+		if n := analysis.NamedOf(tv.Type); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "encoding/binary" {
+			switch name {
+			case "Uint16", "PutUint16":
+				return 2, true
+			case "Uint32", "PutUint32":
+				return 4, true
+			case "Uint64", "PutUint64":
+				return 8, true
+			case "AppendUint16", "AppendUint32", "AppendUint64":
+				return 0, false // append-style: bounds-safe
+			}
+		}
+	}
+
+	// nio.U32(b) readers; nio.PutU32 is append-style and exempt.
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+		analysis.PathHasSegment(fn.Pkg().Path(), "nio") {
+		switch name {
+		case "U16":
+			return 2, true
+		case "U32":
+			return 4, true
+		case "U64":
+			return 8, true
+		}
+	}
+	return 0, false
+}
+
+// checkOffset applies the header-bound rule to one call.
+func checkOffset(pass *analysis.Pass, call *ast.CallExpr, bound int64, boundName string) {
+	width, ok := accessWidth(pass, call)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	off, ok := constOffset(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	if end := off + width; end > bound {
+		pass.Reportf(call.Pos(), "header field access at bytes [%d,%d) exceeds %s (%d): offset constant and header layout have drifted", off, end, boundName, bound)
+	}
+}
+
+// constOffset extracts the constant byte offset of a buffer argument: only
+// the explicit-reslice form b[k:...] with constant k declares an offset into
+// a header. Any other expression (a bare identifier may be a payload slice,
+// not a header) yields no offset and is exempt from the bound rule.
+func constOffset(pass *analysis.Pass, arg ast.Expr) (int64, bool) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.SliceExpr:
+		if a.Low == nil {
+			return 0, true
+		}
+		tv, ok := pass.TypesInfo.Types[a.Low]
+		if !ok || tv.Value == nil {
+			return 0, false
+		}
+		v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		return v, ok
+	}
+	return 0, false
+}
+
+// checkManualAssembly flags |-chains that assemble an integer from byte
+// loads in little-endian order. e is the outermost OR of its chain; nested
+// ORs are recorded in handled so the inspection skips them.
+func checkManualAssembly(pass *analysis.Pass, e *ast.BinaryExpr, handled map[*ast.BinaryExpr]bool) {
+	terms := collectOrTerms(e, handled)
+	type load struct {
+		index int64
+		shift int64
+	}
+	var loads []load
+	baseName := ""
+	for _, t := range terms {
+		idx, shift, base, ok := byteLoadTerm(pass, t)
+		if !ok {
+			return
+		}
+		if baseName == "" {
+			baseName = base
+		} else if base != baseName {
+			return
+		}
+		loads = append(loads, load{idx, shift})
+	}
+	if len(loads) < 2 {
+		return
+	}
+	// Little-endian assembly: strictly increasing shift with increasing
+	// index. (Big-endian manual assembly — decreasing — is tolerated; the
+	// helpers are preferred but it is not a wire-order bug.)
+	for i := 1; i < len(loads); i++ {
+		if loads[i].index <= loads[i-1].index || loads[i].shift <= loads[i-1].shift {
+			return
+		}
+	}
+	pass.Reportf(e.Pos(), "manual little-endian byte assembly of %s: wire headers are big-endian, use binary.BigEndian or the nio helpers", baseName)
+}
+
+// collectOrTerms flattens an OR chain into its operand terms, recording the
+// nested OR nodes in handled so they are not re-analyzed as chain tops.
+func collectOrTerms(e *ast.BinaryExpr, handled map[*ast.BinaryExpr]bool) []ast.Expr {
+	var terms []ast.Expr
+	var walk func(x ast.Expr)
+	walk = func(x ast.Expr) {
+		if b, ok := ast.Unparen(x).(*ast.BinaryExpr); ok && b.Op == token.OR {
+			handled[b] = true
+			walk(b.X)
+			walk(b.Y)
+			return
+		}
+		terms = append(terms, x)
+	}
+	walk(e.X)
+	walk(e.Y)
+	return terms
+}
+
+// byteLoadTerm matches one assembly term: T(b[i]) or T(b[i])<<s, returning
+// the byte index, the shift (0 if none), and the buffer's name.
+func byteLoadTerm(pass *analysis.Pass, e ast.Expr) (index, shift int64, base string, ok bool) {
+	e = ast.Unparen(e)
+	if sh, isShift := e.(*ast.BinaryExpr); isShift && sh.Op == token.SHL {
+		tv, has := pass.TypesInfo.Types[sh.Y]
+		if !has || tv.Value == nil {
+			return 0, 0, "", false
+		}
+		s, good := constant.Int64Val(constant.ToInt(tv.Value))
+		if !good {
+			return 0, 0, "", false
+		}
+		idx, b, good2 := byteIndexConv(pass, sh.X)
+		if !good2 {
+			return 0, 0, "", false
+		}
+		return idx, s, b, true
+	}
+	idx, b, good := byteIndexConv(pass, e)
+	if !good {
+		return 0, 0, "", false
+	}
+	return idx, 0, b, true
+}
+
+// byteIndexConv matches T(b[i]) with constant i, returning i and b's name.
+func byteIndexConv(pass *analysis.Pass, e ast.Expr) (int64, string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return 0, "", false
+	}
+	// A conversion, not a function call.
+	if tv, has := pass.TypesInfo.Types[call.Fun]; !has || !tv.IsType() {
+		return 0, "", false
+	}
+	idx, ok := ast.Unparen(call.Args[0]).(*ast.IndexExpr)
+	if !ok {
+		return 0, "", false
+	}
+	base, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return 0, "", false
+	}
+	tv, has := pass.TypesInfo.Types[idx.Index]
+	if !has || tv.Value == nil {
+		return 0, "", false
+	}
+	i, good := constant.Int64Val(constant.ToInt(tv.Value))
+	if !good {
+		return 0, "", false
+	}
+	return i, base.Name, true
+}

@@ -1,0 +1,12 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecheck"
+)
+
+func TestWirecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecheck.Analyzer, "ddp")
+}

@@ -409,10 +409,10 @@ func (qp *UDQP) flushRecvs() {
 func (qp *UDQP) Stats() Stats {
 	batches, segments, poolHits, poolMisses := qp.ch.SendStats()
 	return Stats{
-		BatchesSent:  batches,
-		SegmentsSent: segments,
-		PoolHits:     poolHits,
-		PoolMisses:   poolMisses,
+		BatchesSent:    batches,
+		SegmentsSent:   segments,
+		PoolHits:       poolHits,
+		PoolMisses:     poolMisses,
 		MsgsSent:       qp.stats.msgsSent.Load(),
 		MsgsReceived:   qp.stats.msgsRecv.Load(),
 		BytesSent:      qp.stats.bytesSent.Load(),

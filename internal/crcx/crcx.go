@@ -85,12 +85,16 @@ func Accelerated() bool { return accelerated }
 // CRC32 instructions where the CPU has them. Its Update composes exactly
 // like ours (state is un-inverted at the API boundary), so the two are
 // interchangeable mid-stream.
+//
+//diwarp:hotpath
 func updateStdlib(crc uint32, p []byte) uint32 {
 	return crc32.Update(crc, stdTable, p)
 }
 
 // updatePortable is the dependency-free fallback: slicing-by-8 over the
 // locally generated tables.
+//
+//diwarp:hotpath
 func updatePortable(crc uint32, p []byte) uint32 {
 	crc = ^crc
 	for len(p) >= 8 {
@@ -114,14 +118,20 @@ func updatePortable(crc uint32, p []byte) uint32 {
 
 // Update adds the bytes of p to the running CRC crc and returns the result.
 // Start a new computation with crc == 0.
+//
+//diwarp:hotpath
 func Update(crc uint32, p []byte) uint32 { return update(crc, p) }
 
 // Checksum returns the CRC32C of p.
+//
+//diwarp:hotpath
 func Checksum(p []byte) uint32 { return update(0, p) }
 
 // ChecksumVec returns the CRC32C over the concatenation of the given
 // segments, allowing gather-style messages to be checksummed without
 // flattening.
+//
+//diwarp:hotpath
 func ChecksumVec(segs ...[]byte) uint32 {
 	var crc uint32
 	for _, s := range segs {

@@ -116,10 +116,12 @@ func (ch *DatagramChannel) SendTagged(to transport.Addr, stag memreg.STag, toff 
 // ownership: every buffer is drawn from ch.pool, passed down while the LLP
 // call is in flight (the LLP must not retain it, per the transport
 // contract), and returned to the pool here before send returns.
+//
+//diwarp:hotpath
 func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.Vec) error {
 	total := payload.Len()
 	if uint64(total) > uint64(^uint32(0)) {
-		return fmt.Errorf("%w: %d bytes", ErrTooBig, total)
+		return errTooBig(total)
 	}
 	proto.MsgLen = uint32(total)
 	maxSeg := ch.ep.MaxDatagram() - proto.HeaderLen() - crcx.Size
@@ -173,9 +175,17 @@ func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.V
 	}
 }
 
+// errTooBig is send's cold failure path, outlined so the annotated hot
+// path stays fmt-free.
+func errTooBig(n int) error {
+	return fmt.Errorf("%w: %d bytes", ErrTooBig, n)
+}
+
 // sendUnbatched is the per-packet fallback for LLPs without BatchSender:
 // one pooled buffer is reused across the message's segments, with no shared
 // channel state, so concurrent senders still do not serialize.
+//
+//diwarp:hotpath
 func (ch *DatagramChannel) sendUnbatched(to transport.Addr, proto *Segment, payload nio.Vec, maxSeg, total int) error {
 	buf := ch.pool.Get()
 	defer ch.pool.Put(buf)

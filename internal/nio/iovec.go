@@ -81,9 +81,11 @@ func (v Vec) Slice(off, n int) Vec {
 // v.Slice(off, n).AppendTo(dst) — the segmented send path cuts messages with
 // it without materializing a sub-vector per segment. It panics if the range
 // is out of bounds, mirroring Go slice semantics.
+//
+//diwarp:hotpath
 func (v Vec) AppendRange(dst []byte, off, n int) []byte {
 	if off < 0 || n < 0 || off+n > v.Len() {
-		panic(fmt.Sprintf("nio: Vec.AppendRange(%d, %d) out of range for length %d", off, n, v.Len()))
+		rangePanic(off, n, v.Len())
 	}
 	for _, s := range v {
 		if n == 0 {
@@ -102,6 +104,12 @@ func (v Vec) AppendRange(dst []byte, off, n int) []byte {
 		n -= take
 	}
 	return dst
+}
+
+// rangePanic is AppendRange's cold failure path, outlined so the annotated
+// hot path stays fmt-free.
+func rangePanic(off, n, length int) {
+	panic(fmt.Sprintf("nio: Vec.AppendRange(%d, %d) out of range for length %d", off, n, length))
 }
 
 // AppendTo appends the vector's bytes to dst and returns the extended slice.

@@ -1,0 +1,65 @@
+package rdmap
+
+import (
+	"testing"
+)
+
+// FuzzRDMAPHeader round-trips the RDMAP wire encodings — the control byte,
+// Read Request payloads, and Terminate payloads — and feeds the raw fuzz
+// bytes to every parser as hostile input: decoding must reject or succeed,
+// never panic.
+func FuzzRDMAPHeader(f *testing.F) {
+	f.Add(byte(OpReadReq), uint32(1), uint64(2), uint32(3), uint32(4), uint64(5), byte(1), uint16(0x02), "access violation", []byte{0xff})
+	f.Add(byte(0x0f), uint32(0), uint64(0), uint32(0), uint32(0), uint64(0), byte(0), uint16(0), "", []byte{})
+	f.Fuzz(func(t *testing.T, op byte, sinkSTag uint32, sinkTO uint64, length, srcSTag uint32, srcTO uint64, layer byte, code uint16, info string, raw []byte) {
+		// Control byte: every defined opcode survives Ctrl/ParseCtrl.
+		opc := Opcode(op & 0x0f)
+		got, err := ParseCtrl(Ctrl(opc))
+		switch opc {
+		case OpWrite, OpReadReq, OpReadResp, OpSend, OpSendSE, OpTerminate, OpWriteRecord:
+			if err != nil {
+				t.Fatalf("ParseCtrl rejected own encoding of %s: %v", opc, err)
+			}
+			if got != opc {
+				t.Fatalf("control byte round-trip: sent %s, got %s", opc, got)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("ParseCtrl accepted undefined opcode %#x", byte(opc))
+			}
+		}
+
+		// Read Request payload.
+		rr := ReadReq{SinkSTag: sinkSTag, SinkTO: sinkTO, Len: length, SrcSTag: srcSTag, SrcTO: srcTO}
+		enc := rr.Append(nil)
+		if len(enc) != ReadReqLen {
+			t.Fatalf("ReadReq.Append wrote %d bytes, ReadReqLen is %d", len(enc), ReadReqLen)
+		}
+		dec, err := ParseReadReq(enc)
+		if err != nil {
+			t.Fatalf("ParseReadReq rejected own encoding: %v", err)
+		}
+		if dec != rr {
+			t.Fatalf("read request round-trip mismatch:\n in: %+v\nout: %+v", rr, dec)
+		}
+
+		// Terminate payload; Info is truncated to 255 bytes on the wire.
+		tm := Terminate{Layer: TermLayer(layer), Code: TermCode(code), Info: info}
+		decT, err := ParseTerminate(tm.Append(nil))
+		if err != nil {
+			t.Fatalf("ParseTerminate rejected own encoding: %v", err)
+		}
+		wantInfo := info
+		if len(wantInfo) > 255 {
+			wantInfo = wantInfo[:255]
+		}
+		if decT.Layer != tm.Layer || decT.Code != tm.Code || decT.Info != wantInfo {
+			t.Fatalf("terminate round-trip mismatch:\n in: %+v\nout: %+v", tm, decT)
+		}
+
+		// Hostile input: arbitrary bytes must never panic a parser.
+		_, _ = ParseCtrl(op)
+		_, _ = ParseReadReq(raw)
+		_, _ = ParseTerminate(raw)
+	})
+}

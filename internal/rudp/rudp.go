@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nio"
@@ -70,6 +71,14 @@ type Endpoint struct {
 	peers  map[transport.Addr]*peerState
 	closed bool
 	fatal  error
+
+	// sendErrs counts inner-transport send failures on the paths that have
+	// no caller to return an error to (ACKs from the receive loop,
+	// retransmissions from the timer loop). The protocol already tolerates
+	// the loss — a dropped ACK is re-cut from cumulative state, a dropped
+	// retransmission fires again at the next RTO — but a persistently
+	// failing transport must be visible rather than silent.
+	sendErrs atomic.Uint64
 
 	inbox chan message
 	done  chan struct{}
@@ -293,7 +302,11 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 	e.mu.Unlock()
 
 	// ACK first so the sender's window opens even if our inbox is full.
-	_ = e.inner.SendTo(ack, from)
+	// A failed ACK send is recoverable — acks are cumulative and the next
+	// inbound DATA re-cuts one — but it must be counted, not swallowed.
+	if err := e.inner.SendTo(ack, from); err != nil {
+		e.sendErrs.Add(1)
+	}
 	e.ackPool.Put(ack)
 	for _, m := range deliverables {
 		select {
@@ -392,7 +405,11 @@ func (e *Endpoint) retransmitLoop() {
 		}
 		e.mu.Unlock()
 		for _, r := range rs {
-			_ = e.inner.SendTo(r.pd.payload, r.to)
+			// A failed retransmission behaves exactly like a lost one: the
+			// next RTO tick retries it. Count it so a dead transport shows.
+			if err := e.inner.SendTo(r.pd.payload, r.to); err != nil {
+				e.sendErrs.Add(1)
+			}
 			e.finishSends(r.pd)
 		}
 	}
@@ -422,6 +439,11 @@ func (e *Endpoint) Flush(timeout time.Duration) error {
 		time.Sleep(tickInterval)
 	}
 }
+
+// SendErrors reports how many ACK or retransmission sends the inner
+// transport has rejected. The protocol recovers from each individually; a
+// growing count means the transport below is unhealthy.
+func (e *Endpoint) SendErrors() uint64 { return e.sendErrs.Load() }
 
 // LocalAddr implements transport.Datagram.
 func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -264,5 +265,55 @@ func TestManyMessagesRandomSizes(t *testing.T) {
 		if !bytes.Equal(got, sent[i]) {
 			t.Fatalf("msg %d corrupted (len %d vs %d)", i, len(got), len(sent[i]))
 		}
+	}
+}
+
+// failingInner wraps a transport.Datagram and fails every SendTo after the
+// first `allow` calls, simulating a transport that degrades mid-connection.
+type failingInner struct {
+	transport.Datagram
+	allow atomic.Int32
+}
+
+var errInjected = errors.New("injected send failure")
+
+func (f *failingInner) SendTo(p []byte, to transport.Addr) error {
+	if f.allow.Add(-1) < 0 {
+		return errInjected
+	}
+	return f.Datagram.SendTo(p, to)
+}
+
+func TestSendErrorsCounted(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	ia, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := n.OpenDatagram("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := &failingInner{Datagram: ia}
+	fa.allow.Store(1)                 // the initial DATA transmission goes through
+	fb := &failingInner{Datagram: ib} // every ACK fails
+	a, b := New(fa), New(fb)
+	t.Cleanup(func() { a.Close(); b.Close() })
+
+	if err := a.SendTo([]byte("once"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery is unaffected: only the reverse (ACK) and retransmit legs
+	// fail, and those have no caller to hand an error to.
+	if _, _, err := b.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.SendErrors() == 0 || a.SendErrors() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("send failures not counted: a=%d (retransmits), b=%d (acks)",
+				a.SendErrors(), b.SendErrors())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

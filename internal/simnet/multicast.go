@@ -130,7 +130,12 @@ func (e *DatagramEndpoint) sendMulticast(p []byte, group transport.Addr) error {
 		if reorder {
 			nw.reorder.Add(1)
 		}
-		_ = dst.q.put(packet{payload: buf, from: e.addr}, reorder)
+		// Multicast is unreliable per member: a closed member queue drops
+		// the copy like loss on the wire. Count it and recycle the buffer.
+		if err := dst.q.put(packet{payload: buf, from: e.addr}, reorder); err != nil {
+			nw.lost.Add(1)
+			putPktBuf(buf)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,8 @@ var largePool = sync.Pool{New: func() any { b := make([]byte, largePktBuf); retu
 
 // getPktBuf returns a buffer of length n backed by a pooled array when n
 // fits a size class.
+//
+//diwarp:acquire
 func getPktBuf(n int) []byte {
 	switch {
 	case n <= smallPktBuf:

@@ -279,7 +279,15 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 	}
 	send := func(pk packet) error {
 		if nw.cfg.Latency > 0 {
-			time.AfterFunc(nw.cfg.Latency, func() { _ = deliver(pk) })
+			time.AfterFunc(nw.cfg.Latency, func() {
+				// The sender returned long ago; a delivery failure here
+				// (destination queue closed mid-flight) is a lost packet.
+				// Count it and recycle the buffer nobody will consume.
+				if err := deliver(pk); err != nil {
+					nw.lost.Add(1)
+					putPktBuf(pk.payload)
+				}
+			})
 			return nil
 		}
 		return deliver(pk)
@@ -368,6 +376,11 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 	}
 	enq, err := dst.q.putBatch(batch)
 	if err != nil {
+		// The queue closed part-way through: the unenqueued tail's pooled
+		// buffers have no consumer left, so recycle them here.
+		for _, pk := range batch[enq:] {
+			putPktBuf(pk.payload)
+		}
 		sent := 0
 		if enq > 0 {
 			sent = orig[enq-1] + 1

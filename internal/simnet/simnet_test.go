@@ -475,3 +475,29 @@ func TestBackpressure(t *testing.T) {
 		t.Fatal("send remained blocked after drain")
 	}
 }
+
+func TestLatencyDeliveryToClosedEndpointCountsLost(t *testing.T) {
+	n := New(Config{Latency: 20 * time.Millisecond})
+	a, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.OpenDatagram("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SendTo([]byte("in flight"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	// The datagram is scheduled but not yet delivered; closing the
+	// destination now strands it mid-flight.
+	b.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Counters().DatagramsLost == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("datagram stranded by endpoint close was never counted as lost")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -123,7 +123,7 @@ func (s *Socket) initUD(ep transport.Datagram) error {
 	for i := range s.slab {
 		s.slab[i] = make([]byte, cfg.RecvBufSize)
 		if err := qp.PostRecv(uint64(i), s.slab[i]); err != nil {
-			qp.Close()
+			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; PostRecv's error is the one to report
 			return err
 		}
 	}
@@ -168,7 +168,7 @@ func (s *Socket) initRC(stream transport.Stream, initiator bool) error {
 	if cfg.StreamWriteRecord {
 		ri, ok := parseRingAdvert(peerPriv)
 		if !ok {
-			qp.Close()
+			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; the handshake failure is the error to report
 			return fmt.Errorf("%w: peer did not advertise a Write-Record ring", ErrBadSocket)
 		}
 		s.remoteRing = ri
@@ -180,7 +180,7 @@ func (s *Socket) initRC(stream transport.Stream, initiator bool) error {
 	for i := range s.slab {
 		s.slab[i] = make([]byte, cfg.RecvBufSize)
 		if err := qp.PostRecv(uint64(i), s.slab[i]); err != nil {
-			qp.Close()
+			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; PostRecv's error is the one to report
 			return err
 		}
 	}
@@ -227,7 +227,7 @@ func (s *Socket) Connect(to transport.Addr) error {
 			return err
 		}
 		if err := s.initRC(stream, true); err != nil {
-			stream.Close()
+			stream.Close() //diwarp:ignore errflow — error-path cleanup of a stream never exposed; initRC's error is the one to report
 			return err
 		}
 		return nil
@@ -493,6 +493,7 @@ func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 		adv[0] = frameRingAdv
 		adv = nio.PutU32(adv, uint32(ring.STag()))
 		adv = nio.PutU32(adv, uint32(ring.Len()))
+		//diwarp:ignore errflow — advert reply is best-effort: the requester re-sends frameRingReq until one arrives
 		_ = s.udqp.PostSend(^uint64(0), e.Src, nio.VecOf(adv))
 		s.drainSendCQ()
 	case frameRingAdv:
@@ -563,6 +564,7 @@ func (s *Socket) handleRingWrite(e iwarp.CQE) {
 		frame := make([]byte, 1, 9)
 		frame[0] = frameRingCredit
 		frame = nio.PutU64(frame, credit)
+		//diwarp:ignore errflow — credit frames carry cumulative counters: the next one repairs a lost send
 		_ = s.udqp.PostSend(^uint64(0), peer, nio.VecOf(frame))
 		s.drainSendCQ()
 	}
@@ -574,9 +576,9 @@ func (s *Socket) repost(idx int) {
 		return
 	}
 	if s.udqp != nil {
-		_ = s.udqp.PostRecv(uint64(idx), s.slab[idx])
+		_ = s.udqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow — PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
 	} else if s.rcqp != nil {
-		_ = s.rcqp.PostRecv(uint64(idx), s.slab[idx])
+		_ = s.rcqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow — PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
 	}
 }
 
@@ -714,15 +716,21 @@ func (s *Socket) Close() error {
 	ring := s.ring
 	s.mu.Unlock()
 	s.ifc.forget(s.fd)
-	if ring != nil {
-		_ = s.ifc.tbl.Deregister(ring.STag())
-	}
 	var err error
+	if ring != nil {
+		// A failed deregistration leaves the ring reachable through a stale
+		// STag — worth surfacing unless a QP teardown error outranks it.
+		err = s.ifc.tbl.Deregister(ring.STag())
+	}
 	if s.udqp != nil {
-		err = s.udqp.Close()
+		if cerr := s.udqp.Close(); cerr != nil {
+			err = cerr
+		}
 	}
 	if s.rcqp != nil {
-		err = s.rcqp.Close()
+		if cerr := s.rcqp.Close(); cerr != nil {
+			err = cerr
+		}
 	}
 	return err
 }

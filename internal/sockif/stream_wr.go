@@ -201,6 +201,7 @@ func (s *Socket) consumeRingWrite(to uint64, n int, from transport.Addr) {
 		frame := make([]byte, 1, 9)
 		frame[0] = frameRingCredit
 		frame = nio.PutU64(frame, credit)
+		//diwarp:ignore errflow — credit frames carry cumulative counters: the next one repairs a lost send
 		_ = s.rcqp.PostSend(^uint64(0), nio.VecOf(frame))
 		s.drainSendCQ()
 	}
