@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-short bench bench-datapath check clean
+.PHONY: all build test race vet lint fuzz-short bench bench-datapath telemetry-smoke check clean
 
 all: build
 
@@ -39,8 +39,14 @@ bench:
 bench-datapath:
 	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkChecksum' -benchmem -run=^$$ ./internal/ddp/ ./internal/crcx/
 
+# Boot the daemon over a 1%-lossy simnet, scrape its own /metrics, and
+# fail unless the datapath counters show traffic, loss, and rudp recovery
+# (DESIGN.md §4.6). Exits non-zero if any asserted counter is missing or 0.
+telemetry-smoke:
+	$(GO) run ./cmd/iwarpd -sim -loss 0.01 -duration 2s -metrics 127.0.0.1:0 -smoke-scrape
+
 # What CI should run.
-check: build vet test race lint
+check: build vet test race lint telemetry-smoke
 
 clean:
 	rm -rf bin

@@ -1,0 +1,133 @@
+// Command diwarp-top renders a live view of a running iwarpd's telemetry,
+// in the spirit of top(1): it polls the daemon's /metrics.json endpoint
+// and prints counters, gauges, and histogram summaries, with per-interval
+// rates computed between successive snapshots.
+//
+//	diwarp-top -addr 127.0.0.1:9090            # watch, refresh every 2s
+//	diwarp-top -addr 127.0.0.1:9090 -once      # single snapshot and exit
+//	diwarp-top -addr 127.0.0.1:9090 -interval 500ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diwarp-top: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "iwarpd telemetry endpoint (host:port)")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period in watch mode")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/metrics.json"
+	prev, err := fetch(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	render(os.Stdout, *addr, prev, nil, 0)
+	if *once {
+		return
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := fetch(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		render(os.Stdout, *addr, cur, prev, *interval)
+		prev = cur
+	}
+}
+
+// fetch pulls one JSON snapshot from the daemon.
+func fetch(url string) (*telemetry.Snapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return &s, nil
+}
+
+// render prints one snapshot. When prev is non-nil, a rate column shows
+// each counter's delta over the polling interval, per second.
+func render(w io.Writer, addr string, cur, prev *telemetry.Snapshot, interval time.Duration) error {
+	fmt.Fprintf(w, "diwarp-top — %s — %s\n", addr, time.Now().Format("15:04:05"))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	if len(cur.Counters) > 0 {
+		if prev != nil {
+			fmt.Fprintln(tw, "  COUNTER\tVALUE\tRATE/s")
+		} else {
+			fmt.Fprintln(tw, "  COUNTER\tVALUE")
+		}
+		for _, name := range sortedKeys(cur.Counters) {
+			v := cur.Counters[name]
+			if prev != nil {
+				rate := float64(v-prev.Counters[name]) / interval.Seconds()
+				fmt.Fprintf(tw, "  %s\t%s\t%.1f\n", name, telemetry.FormatValue(v), rate)
+			} else {
+				fmt.Fprintf(tw, "  %s\t%s\n", name, telemetry.FormatValue(v))
+			}
+		}
+	}
+	if len(cur.Gauges) > 0 {
+		fmt.Fprintln(tw, "  GAUGE\tVALUE")
+		for _, name := range sortedKeys(cur.Gauges) {
+			fmt.Fprintf(tw, "  %s\t%s\n", name, telemetry.FormatValue(cur.Gauges[name]))
+		}
+	}
+	if len(cur.Histograms) > 0 {
+		fmt.Fprintln(tw, "  HISTOGRAM\tCOUNT\tMEAN\tP50\tP99")
+		names := make([]string, 0, len(cur.Histograms))
+		for name := range cur.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := cur.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%.1f\t≤%d\t≤%d\n",
+				name, telemetry.FormatValue(h.Count), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		}
+	}
+	return tw.Flush()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -15,12 +15,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
+	"text/tabwriter"
 
 	"repro/internal/bench"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +35,7 @@ func main() {
 		iters  = flag.Int("iters", 200, "ping-pong iterations per point")
 		budget = flag.Int64("budget", 32<<20, "bytes transferred per bandwidth point")
 		seed   = flag.Int64("seed", 1, "simulated network RNG seed")
+		tele   = flag.Bool("telemetry", false, "print the process telemetry snapshot after the runs")
 	)
 	flag.Parse()
 
@@ -46,6 +51,45 @@ func main() {
 	run(6, func() error { return fig6(*budget, *seed) })
 	run(7, func() error { return figLoss(7, bench.UDSendRecv, *budget, *seed) })
 	run(8, func() error { return figLoss(8, bench.UDWriteRecord, *budget, *seed) })
+	if *tele {
+		if err := printTelemetry(os.Stdout); err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+	}
+}
+
+// printTelemetry renders the process-wide telemetry registry: every counter
+// the benchmark runs above moved, plus histogram summaries. This is the
+// aggregate across all QPs, channels, and networks the run created.
+func printTelemetry(w io.Writer) error {
+	s := telemetry.Default.Snapshot()
+	fmt.Fprintln(w, "Telemetry (process totals)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if s.Counters[name] == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%s\n", name, telemetry.FormatValue(s.Counters[name]))
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\tn=%s mean=%.1f p50≤%d p99≤%d\n",
+			name, telemetry.FormatValue(h.Count), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	return tw.Flush()
 }
 
 var allModes = []bench.Mode{bench.UDSendRecv, bench.UDWriteRecord, bench.RCSendRecv, bench.RCWrite}

@@ -26,6 +26,7 @@ import (
 	iwarp "repro/internal/core"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -39,9 +40,41 @@ func main() {
 		ping    = flag.String("ping", "", "client mode: host:port of a running iwarpd echo service")
 		size    = flag.Int("size", 64, "ping payload size")
 		count   = flag.Int("count", 10, "ping round trips")
+
+		metrics = flag.String("metrics", "", "serve telemetry HTTP endpoints on this host:port (port 0 = ephemeral)")
+		pcap    = flag.String("pcap", "", "write a .pcap capture of transport traffic to this file")
+		sim     = flag.Bool("sim", false, "soak mode: run the stack over an in-process lossy simnet instead of kernel UDP")
+		loss    = flag.Float64("loss", 0.01, "simnet per-fragment loss rate (with -sim)")
+		dur     = flag.Duration("duration", 2*time.Second, "soak traffic duration (with -sim)")
+		msgSize = flag.Int("msgsize", 2048, "soak message size in bytes (with -sim)")
+		smoke   = flag.Bool("smoke-scrape", false, "after the -sim soak, scrape own /metrics and exit non-zero unless datapath counters moved")
 	)
 	flag.Parse()
 
+	if *sim {
+		if err := runSim(*loss, *dur, *msgSize, *metrics, *pcap, *smoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *metrics != "" {
+		bound, _, err := telemetry.Serve(*metrics, telemetry.Default, telemetry.DefaultTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics (json: /metrics.json, trace: /trace.json)", bound)
+	}
+	if *pcap != "" {
+		f, err := os.Create(*pcap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcapTap, err = telemetry.NewPcapWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pcapTap.Close()
+	}
 	if *ping != "" {
 		if err := runPing(*host, *ping, *size, *count); err != nil {
 			log.Fatal(err)
@@ -53,10 +86,17 @@ func main() {
 	}
 }
 
+// pcapTap, when non-nil, taps every endpoint openQP creates.
+var pcapTap *telemetry.PcapWriter
+
 func openQP(host string, port uint16) (*iwarp.UDQP, *memreg.PD, *memreg.Table, *iwarp.CQ, *iwarp.CQ, error) {
+	var ep transport.Datagram
 	ep, err := transport.ListenUDP(host, port)
 	if err != nil {
 		return nil, nil, nil, nil, nil, err
+	}
+	if pcapTap != nil {
+		ep = telemetry.TapDatagram(ep, pcapTap)
 	}
 	pd := memreg.NewPD()
 	tbl := memreg.NewTable()

@@ -1,0 +1,16 @@
+// Package atomic is the fixture stand-in for sync/atomic: its import path
+// is "sync/atomic", not exactly "sync", so hotpath leaves its methods alone
+// — atomics ARE the hot path's tools.
+package atomic
+
+type Int64 struct{ v int64 }
+
+func (a *Int64) Add(n int64) int64 { return a.v }
+func (a *Int64) Load() int64       { return a.v }
+func (a *Int64) Store(n int64)     {}
+
+type Uint64 struct{ v uint64 }
+
+func (a *Uint64) Add(n uint64) uint64 { return a.v }
+func (a *Uint64) Load() uint64        { return a.v }
+func (a *Uint64) Store(n uint64)      {}

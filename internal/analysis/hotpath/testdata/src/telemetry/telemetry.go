@@ -1,0 +1,84 @@
+// Package telemetry is the fixture mirror of internal/telemetry's record
+// path: the exact shapes Counter.Add, Histogram.Observe, and Ring.Record
+// use under their //diwarp:hotpath annotations. The instrument methods must
+// produce zero diagnostics — that is the proof DESIGN.md §4.6 leans on when
+// it claims counters are safe to bump from the batched send path. The
+// locked variant at the bottom is the design telemetry rejected, kept here
+// to show the analyzer would have caught it.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct{ v atomic.Int64 }
+
+//diwarp:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+//diwarp:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+type Gauge struct{ v atomic.Int64 }
+
+//diwarp:hotpath
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+//diwarp:hotpath
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	for x := v; x > 0; x >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Uint64
+	meta atomic.Uint64
+	arg  atomic.Uint64
+}
+
+type Ring struct {
+	next  atomic.Uint64
+	slots [8]slot
+}
+
+// Record is the trace ring's claim-and-stamp sequence: one atomic counter
+// claim, then four plain stores bracketed by an odd/even seq stamp. No
+// allocation, no lock, no channel — only array indexing and atomics.
+//
+//diwarp:hotpath
+func (r *Ring) Record(t uint8, peer uint32, size int, arg uint32) {
+	n := r.next.Add(1) - 1
+	s := &r.slots[n%uint64(len(r.slots))]
+	s.seq.Store(2*n + 1)
+	s.ts.Store(n)
+	s.meta.Store(uint64(t)<<56 | uint64(peer)<<32 | uint64(uint32(size)))
+	s.arg.Store(uint64(arg))
+	s.seq.Store(2 * n)
+}
+
+// lockedRegistry is the mutex-and-map design the telemetry package
+// deliberately avoided; annotated, every step of it is a finding.
+type lockedRegistry struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+//diwarp:hotpath
+func (r *lockedRegistry) add(name string, n int64) {
+	r.mu.Lock() // want `takes a lock`
+	r.m[name] += n
+	r.mu.Unlock()
+}

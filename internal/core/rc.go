@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpa"
 	"repro/internal/nio"
 	"repro/internal/rdmap"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -60,9 +61,11 @@ type RCQP struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// Counters are registry handles (DESIGN.md §4.6): per-QP exact reads
+	// via Stats(), summed across QPs for the process scrape.
 	stats struct {
-		msgsSent, msgsRecv, bytesSent, bytesRecv atomic.Int64
-		placed, placeErr                         atomic.Int64
+		msgsSent, msgsRecv, bytesSent, bytesRecv *telemetry.Counter
+		placed, placeErr                         *telemetry.Counter
 	}
 }
 
@@ -117,6 +120,12 @@ func newRCQP(conn *mpa.Conn, pd *memreg.PD, tbl *memreg.Table, sendCQ, recvCQ *C
 		cfg:    cfg,
 		rq:     newRecvQueue(cfg.RecvDepth),
 	}
+	qp.stats.msgsSent = telemetry.Default.Counter("diwarp_rc_msgs_sent_total")
+	qp.stats.msgsRecv = telemetry.Default.Counter("diwarp_rc_msgs_recv_total")
+	qp.stats.bytesSent = telemetry.Default.Counter("diwarp_rc_bytes_sent_total")
+	qp.stats.bytesRecv = telemetry.Default.Counter("diwarp_rc_bytes_recv_total")
+	qp.stats.placed = telemetry.Default.Counter("diwarp_rc_placed_segments_total")
+	qp.stats.placeErr = telemetry.Default.Counter("diwarp_rc_place_errors_total")
 	qp.wg.Add(1)
 	go qp.recvLoop()
 	return qp, nil
@@ -164,7 +173,7 @@ func (qp *RCQP) PostSend(id uint64, payload nio.Vec) error {
 		return err
 	}
 	n := payload.Len()
-	qp.stats.msgsSent.Add(1)
+	qp.stats.msgsSent.Inc()
 	qp.stats.bytesSent.Add(int64(n))
 	qp.sendCQ.post(CQE{WRID: id, Type: WTSend, ByteLen: n})
 	return nil
@@ -187,7 +196,7 @@ func (qp *RCQP) PostWrite(id uint64, stag memreg.STag, to uint64, payload nio.Ve
 		return err
 	}
 	n := payload.Len()
-	qp.stats.msgsSent.Add(1)
+	qp.stats.msgsSent.Inc()
 	qp.stats.bytesSent.Add(int64(n))
 	qp.sendCQ.post(CQE{WRID: id, Type: WTWrite, ByteLen: n})
 	return nil
@@ -328,7 +337,7 @@ func (qp *RCQP) handleSendSeg(seg *ddp.Segment) bool {
 		})
 		return true
 	}
-	qp.stats.msgsRecv.Add(1)
+	qp.stats.msgsRecv.Inc()
 	qp.stats.bytesRecv.Add(int64(m.received))
 	qp.recvCQ.post(CQE{WRID: m.wr.ID, Type: WTRecv, ByteLen: m.received})
 	return true
@@ -339,7 +348,7 @@ func (qp *RCQP) handleSendSeg(seg *ddp.Segment) bool {
 func (qp *RCQP) placeTagged(seg *ddp.Segment, isReadResp bool) bool {
 	region, err := qp.tbl.Lookup(seg.STag)
 	if err != nil {
-		qp.stats.placeErr.Add(1)
+		qp.stats.placeErr.Inc()
 		qp.terminate(rdmap.LayerDDP, rdmap.TermInvalidSTag, err.Error())
 		return false
 	}
@@ -350,11 +359,11 @@ func (qp *RCQP) placeTagged(seg *ddp.Segment, isReadResp bool) bool {
 		need = memreg.LocalWrite
 	}
 	if err := region.Place(qp.pd, need, seg.TO, seg.Payload); err != nil {
-		qp.stats.placeErr.Add(1)
+		qp.stats.placeErr.Inc()
 		qp.terminate(rdmap.LayerDDP, rdmap.TermBaseBounds, err.Error())
 		return false
 	}
-	qp.stats.placed.Add(1)
+	qp.stats.placed.Inc()
 	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
 	if isReadResp && seg.Last {
 		qp.readMu.Lock()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/memreg"
 	"repro/internal/nio"
 	"repro/internal/rdmap"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -72,9 +73,11 @@ type UDQP struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// Datapath counters are registry handles (DESIGN.md §4.6): Stats()
+	// reads this QP's handles exactly; the process scrape sums all QPs.
 	stats struct {
-		msgsSent, msgsRecv, bytesSent, bytesRecv          atomic.Int64
-		recvDropped, placed, placeErr, reassembled, swept atomic.Int64
+		msgsSent, msgsRecv, bytesSent, bytesRecv          *telemetry.Counter
+		recvDropped, placed, placeErr, reassembled, swept *telemetry.Counter
 	}
 }
 
@@ -115,6 +118,15 @@ func OpenUD(ep transport.Datagram, pd *memreg.PD, tbl *memreg.Table, sendCQ, rec
 		records:      make(map[wrKey]*wrTracker),
 		pendingReads: make(map[wrKey]*pendingUDRead),
 	}
+	qp.stats.msgsSent = telemetry.Default.Counter("diwarp_ud_msgs_sent_total")
+	qp.stats.msgsRecv = telemetry.Default.Counter("diwarp_ud_msgs_recv_total")
+	qp.stats.bytesSent = telemetry.Default.Counter("diwarp_ud_bytes_sent_total")
+	qp.stats.bytesRecv = telemetry.Default.Counter("diwarp_ud_bytes_recv_total")
+	qp.stats.recvDropped = telemetry.Default.Counter("diwarp_ud_recv_dropped_total")
+	qp.stats.placed = telemetry.Default.Counter("diwarp_ud_placed_segments_total")
+	qp.stats.placeErr = telemetry.Default.Counter("diwarp_ud_place_errors_total")
+	qp.stats.reassembled = telemetry.Default.Counter("diwarp_ud_reassembled_total")
+	qp.stats.swept = telemetry.Default.Counter("diwarp_ud_swept_total")
 	qp.done = make(chan struct{})
 	qp.wg.Add(2)
 	go qp.recvLoop()
@@ -170,8 +182,9 @@ func (qp *UDQP) postUntagged(id uint64, to transport.Addr, payload nio.Vec, op r
 	if err := qp.ch.SendUntagged(to, ddp.QNSend, msn, rdmap.Ctrl(op), payload); err != nil {
 		return err
 	}
-	qp.stats.msgsSent.Add(1)
+	qp.stats.msgsSent.Inc()
 	qp.stats.bytesSent.Add(int64(n))
+	telemetry.DefaultTrace.Record(telemetry.EvSend, telemetry.PeerToken(to), n, msn)
 	qp.sendCQ.post(CQE{WRID: id, Type: WTSend, ByteLen: n, Src: to})
 	return nil
 }
@@ -194,8 +207,9 @@ func (qp *UDQP) PostWriteRecord(id uint64, dest transport.Addr, stag memreg.STag
 	if err := qp.ch.SendTagged(dest, stag, to, msn, rdmap.Ctrl(rdmap.OpWriteRecord), payload); err != nil {
 		return err
 	}
-	qp.stats.msgsSent.Add(1)
+	qp.stats.msgsSent.Inc()
 	qp.stats.bytesSent.Add(int64(n))
+	telemetry.DefaultTrace.Record(telemetry.EvSend, telemetry.PeerToken(dest), n, msn)
 	qp.sendCQ.post(CQE{WRID: id, Type: WTWriteRecord, ByteLen: n, Src: dest})
 	return nil
 }
@@ -265,7 +279,7 @@ func (qp *UDQP) handleSend(from transport.Addr, seg *ddp.Segment) {
 		return
 	}
 	if seg.MO != 0 || !seg.Last {
-		qp.stats.reassembled.Add(1)
+		qp.stats.reassembled.Inc()
 	}
 	wr, ok := qp.rq.pop()
 	if !ok && qp.cfg.BlockOnRNR {
@@ -280,7 +294,8 @@ func (qp *UDQP) handleSend(from transport.Addr, seg *ddp.Segment) {
 	if !ok {
 		// No posted receive: the message is dropped, like a UD QP with an
 		// empty receive queue on a real RNIC.
-		qp.stats.recvDropped.Add(1)
+		qp.stats.recvDropped.Inc()
+		telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(from), len(msg), telemetry.DropNoRecv)
 		return
 	}
 	if len(msg) > len(wr.Buf) {
@@ -292,26 +307,28 @@ func (qp *UDQP) handleSend(from transport.Addr, seg *ddp.Segment) {
 		return
 	}
 	copy(wr.Buf, msg)
-	qp.stats.msgsRecv.Add(1)
+	qp.stats.msgsRecv.Inc()
 	qp.stats.bytesRecv.Add(int64(len(msg)))
+	telemetry.DefaultTrace.Record(telemetry.EvRecv, telemetry.PeerToken(from), len(msg), seg.MSN)
 	qp.recvCQ.post(CQE{WRID: wr.ID, Type: WTRecv, ByteLen: len(msg), Src: from})
 }
 
 func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	region, err := qp.tbl.Lookup(seg.STag)
 	if err != nil {
-		qp.stats.placeErr.Add(1)
+		qp.stats.placeErr.Inc()
 		qp.recvCQ.post(CQE{Type: WTError, Status: StatusRemoteInvalid, Err: err, Src: from, STag: seg.STag})
 		return
 	}
 	if err := region.Place(qp.pd, memreg.RemoteWrite, seg.TO, seg.Payload); err != nil {
-		qp.stats.placeErr.Add(1)
+		qp.stats.placeErr.Inc()
 		qp.recvCQ.post(CQE{Type: WTError, Status: StatusRemoteAccess, Err: err, Src: from, STag: seg.STag})
 		return
 	}
 	region.Record(seg.TO, len(seg.Payload))
-	qp.stats.placed.Add(1)
+	qp.stats.placed.Inc()
 	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
+	telemetry.DefaultTrace.Record(telemetry.EvWriteRecord, telemetry.PeerToken(from), len(seg.Payload), uint32(seg.STag))
 
 	if qp.cfg.PerChunkCompletions {
 		var v memreg.ValidityMap
@@ -327,7 +344,7 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	if seg.Last && uint64(len(seg.Payload)) == uint64(seg.MsgLen) {
 		var v memreg.ValidityMap
 		v.Add(seg.TO, uint64(len(seg.Payload)))
-		qp.stats.msgsRecv.Add(1)
+		qp.stats.msgsRecv.Inc()
 		qp.recvCQ.post(CQE{
 			Type: WTWriteRecordRecv, ByteLen: len(seg.Payload), Src: from,
 			STag: seg.STag, TO: seg.TO, MsgLen: int(seg.MsgLen), Validity: v,
@@ -353,7 +370,7 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	delete(qp.records, key)
 	qp.recMu.Unlock()
 	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
-	qp.stats.msgsRecv.Add(1)
+	qp.stats.msgsRecv.Inc()
 	qp.recvCQ.post(CQE{
 		Type: WTWriteRecordRecv, ByteLen: tr.placed, Src: from,
 		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
@@ -392,7 +409,7 @@ func (qp *UDQP) sweepRecords(now time.Time) {
 	for k, tr := range qp.records {
 		if tr.born.Before(cutoff) {
 			delete(qp.records, k)
-			qp.stats.swept.Add(1)
+			qp.stats.swept.Inc()
 		}
 	}
 	qp.recMu.Unlock()

@@ -1,14 +1,15 @@
 package ddp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/crcx"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -45,16 +46,25 @@ type DatagramChannel struct {
 	pool     *nio.Pool // segment wire buffers, capacity ep.MaxDatagram()
 	batchBuf sync.Pool // *[][]byte scratch, capacity maxBatchSegments
 
-	batches  atomic.Int64 // SendBatch bursts issued
-	segments atomic.Int64 // wire segments emitted (batched or not)
+	// Channel counters live on the telemetry registry (DESIGN.md §4.6):
+	// each channel's handles are exact for SendStats, and the registry
+	// aggregates every channel for the process-wide scrape.
+	batches   *telemetry.Counter   // SendBatch bursts issued
+	segments  *telemetry.Counter   // wire segments emitted (batched or not)
+	crcFail   *telemetry.Counter   // inbound segments dropped on CRC/parse
+	batchHist *telemetry.Histogram // segments per burst
 }
 
 // NewDatagramChannel wraps a datagram endpoint (raw simnet/UDP for UD, or
 // an rudp.Endpoint for the reliable-datagram mode).
 func NewDatagramChannel(ep transport.Datagram) *DatagramChannel {
 	ch := &DatagramChannel{
-		ep:   ep,
-		pool: nio.NewPool(ep.MaxDatagram()),
+		ep:        ep,
+		pool:      nio.NewPool(ep.MaxDatagram()),
+		batches:   telemetry.Default.Counter("diwarp_ddp_batches_total"),
+		segments:  telemetry.Default.Counter("diwarp_ddp_segments_total"),
+		crcFail:   telemetry.Default.Counter("diwarp_ddp_crc_fail_total"),
+		batchHist: telemetry.Default.Histogram("diwarp_ddp_batch_segments"),
 	}
 	ch.batch, _ = ep.(transport.BatchSender)
 	ch.batchBuf.New = func() any {
@@ -137,8 +147,9 @@ func (ch *DatagramChannel) send(to transport.Addr, proto *Segment, payload nio.V
 			return nil
 		}
 		_, err := ch.batch.SendBatch(pkts, to)
-		ch.batches.Add(1)
+		ch.batches.Inc()
 		ch.segments.Add(int64(len(pkts)))
+		ch.batchHist.Observe(int64(len(pkts)))
 		for i, p := range pkts {
 			ch.pool.Put(p)
 			pkts[i] = nil
@@ -196,7 +207,7 @@ func (ch *DatagramChannel) sendUnbatched(to transport.Addr, proto *Segment, payl
 		pkt := AppendHeader(buf[:0], proto)
 		pkt = payload.AppendRange(pkt, off, n)
 		pkt = nio.PutU32(pkt, crcx.Checksum(pkt))
-		ch.segments.Add(1)
+		ch.segments.Inc()
 		if err := ch.ep.SendTo(pkt, to); err != nil {
 			return err
 		}
@@ -235,7 +246,12 @@ func (ch *DatagramChannel) Recv(timeout time.Duration) (Segment, transport.Addr,
 		seg, err := Parse(pkt, true)
 		if err != nil {
 			// Corrupt or runt datagram: drop and keep receiving. The QP does
-			// not error out (paper §IV.B item 2).
+			// not error out (paper §IV.B item 2). CRC failures are the UD
+			// error model's one observable, so they are counted and traced.
+			if errors.Is(err, ErrCRC) {
+				ch.crcFail.Inc()
+				telemetry.DefaultTrace.Record(telemetry.EvCRCFail, telemetry.PeerToken(from), len(pkt), 0)
+			}
 			ch.Recycle(pkt)
 			continue
 		}

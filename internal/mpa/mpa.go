@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/crcx"
 	"repro/internal/nio"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -100,6 +101,11 @@ type Conn struct {
 	// contends with a receive loop blocked inside Recv holding recvMu.
 	sendBufCap atomic.Int64
 	recvBufCap atomic.Int64
+
+	// crcFail counts FPDUs rejected on CRC, on the telemetry registry
+	// (DESIGN.md §4.6). On RC a CRC failure is fatal to the connection, so
+	// a non-zero count pairs with a torn-down QP.
+	crcFail *telemetry.Counter
 }
 
 // NewConn wraps an established stream (after any MPA negotiation) with the
@@ -108,9 +114,10 @@ type Conn struct {
 func NewConn(s transport.Stream, cfg Config) *Conn {
 	cfg = cfg.withDefaults()
 	return &Conn{
-		stream: s,
-		cfg:    cfg,
-		rd:     s,
+		stream:  s,
+		cfg:     cfg,
+		rd:      s,
+		crcFail: telemetry.Default.Counter("diwarp_mpa_crc_fail_total"),
 	}
 }
 
@@ -251,6 +258,8 @@ func (c *Conn) Recv() ([]byte, error) {
 		want := nio.U32(body[n+pad:])
 		got := crcx.Update(crcx.Checksum(hdr[:]), body[:n+pad])
 		if got != want {
+			c.crcFail.Inc()
+			telemetry.DefaultTrace.Record(telemetry.EvCRCFail, telemetry.PeerToken(c.stream.RemoteAddr()), n, 0)
 			return nil, ErrCRC
 		}
 	}

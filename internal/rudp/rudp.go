@@ -27,10 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/nio"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -72,13 +72,18 @@ type Endpoint struct {
 	closed bool
 	fatal  error
 
-	// sendErrs counts inner-transport send failures on the paths that have
-	// no caller to return an error to (ACKs from the receive loop,
-	// retransmissions from the timer loop). The protocol already tolerates
-	// the loss — a dropped ACK is re-cut from cumulative state, a dropped
-	// retransmission fires again at the next RTO — but a persistently
-	// failing transport must be visible rather than silent.
-	sendErrs atomic.Uint64
+	// Reliability counters are telemetry-registry handles (DESIGN.md §4.6).
+	// ackSendFail and dataSendFail count inner-transport send failures on
+	// the paths that have no caller to return an error to (ACKs from the
+	// receive loop, retransmissions from the timer loop). The protocol
+	// already tolerates the loss — a dropped ACK is re-cut from cumulative
+	// state, a dropped retransmission fires again at the next RTO — but a
+	// persistently failing transport must be visible rather than silent.
+	retransmits  *telemetry.Counter   // DATA packets resent after RTO expiry
+	rtoExpired   *telemetry.Counter   // RTO expiry events (includes final, fatal one)
+	ackSendFail  *telemetry.Counter   // ACK sends the inner transport rejected
+	dataSendFail *telemetry.Counter   // retransmission sends the inner transport rejected
+	rtt          *telemetry.Histogram // ack round-trip, µs (Karn: first transmissions only)
 
 	inbox chan message
 	done  chan struct{}
@@ -114,12 +119,17 @@ type pending struct {
 // New wraps inner with reliability. The Endpoint owns inner and closes it.
 func New(inner transport.Datagram) *Endpoint {
 	e := &Endpoint{
-		inner:   inner,
-		pool:    nio.NewPool(inner.MaxDatagram()),
-		ackPool: nio.NewPool(ackLen),
-		peers:   make(map[transport.Addr]*peerState),
-		inbox:   make(chan message, 1024),
-		done:    make(chan struct{}),
+		inner:        inner,
+		pool:         nio.NewPool(inner.MaxDatagram()),
+		ackPool:      nio.NewPool(ackLen),
+		peers:        make(map[transport.Addr]*peerState),
+		inbox:        make(chan message, 1024),
+		done:         make(chan struct{}),
+		retransmits:  telemetry.Default.Counter("diwarp_rudp_retransmits_total"),
+		rtoExpired:   telemetry.Default.Counter("diwarp_rudp_rto_expired_total"),
+		ackSendFail:  telemetry.Default.Counter("diwarp_rudp_ack_send_fail_total"),
+		dataSendFail: telemetry.Default.Counter("diwarp_rudp_retransmit_send_fail_total"),
+		rtt:          telemetry.Default.Histogram("diwarp_rudp_rtt_microseconds"),
 	}
 	e.wg.Add(2)
 	go e.recvLoop()
@@ -305,7 +315,7 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 	// A failed ACK send is recoverable — acks are cumulative and the next
 	// inbound DATA re-cuts one — but it must be counted, not swallowed.
 	if err := e.inner.SendTo(ack, from); err != nil {
-		e.sendErrs.Add(1)
+		e.ackSendFail.Inc()
 	}
 	e.ackPool.Put(ack)
 	for _, m := range deliverables {
@@ -338,19 +348,28 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	cum := nio.U32(pkt[2:])
 	bitmap := nio.U32(pkt[6:])
 
+	now := time.Now()
 	e.mu.Lock()
 	ps := e.peer(from)
 	freed := false
 	for seq, pd := range ps.unacked {
-		if seqLE(seq, cum) {
-			delete(ps.unacked, seq)
-			e.release(pd)
-			freed = true
-		} else if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
-			delete(ps.unacked, seq)
-			e.release(pd)
-			freed = true
+		acked := seqLE(seq, cum)
+		if !acked {
+			if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
+				acked = true
+			}
 		}
+		if !acked {
+			continue
+		}
+		// Karn's algorithm: only first transmissions give an unambiguous
+		// RTT sample — an ack after a retransmit could match either send.
+		if pd.retries == 0 {
+			e.rtt.Observe(now.Sub(pd.lastSent).Microseconds())
+		}
+		delete(ps.unacked, seq)
+		e.release(pd)
+		freed = true
 	}
 	wait := ps.sendWait
 	e.mu.Unlock()
@@ -376,17 +395,19 @@ func (e *Endpoint) retransmitLoop() {
 		}
 		now := time.Now()
 		type resend struct {
-			pd *pending
-			to transport.Addr
+			pd  *pending
+			to  transport.Addr
+			seq uint32
 		}
 		var rs []resend
 		e.mu.Lock()
 		for addr, ps := range e.peers {
-			for _, pd := range ps.unacked {
+			for seq, pd := range ps.unacked {
 				if now.Sub(pd.lastSent) < pd.rto {
 					continue
 				}
 				pd.retries++
+				e.rtoExpired.Inc()
 				if pd.retries > maxRetries {
 					e.fatal = fmt.Errorf("%w: %s", ErrPeerDead, addr)
 					continue
@@ -400,15 +421,17 @@ func (e *Endpoint) retransmitLoop() {
 				// recycle (and another sender overwrite) the buffer while
 				// the retransmission reads it.
 				pd.inFlight++
-				rs = append(rs, resend{pd: pd, to: addr})
+				rs = append(rs, resend{pd: pd, to: addr, seq: seq})
 			}
 		}
 		e.mu.Unlock()
 		for _, r := range rs {
 			// A failed retransmission behaves exactly like a lost one: the
 			// next RTO tick retries it. Count it so a dead transport shows.
+			e.retransmits.Inc()
+			telemetry.DefaultTrace.Record(telemetry.EvRetransmit, telemetry.PeerToken(r.to), len(r.pd.payload), r.seq)
 			if err := e.inner.SendTo(r.pd.payload, r.to); err != nil {
-				e.sendErrs.Add(1)
+				e.dataSendFail.Inc()
 			}
 			e.finishSends(r.pd)
 		}
@@ -440,10 +463,39 @@ func (e *Endpoint) Flush(timeout time.Duration) error {
 	}
 }
 
+// Snapshot is a point-in-time view of the endpoint's reliability counters.
+type Snapshot struct {
+	// Retransmits counts DATA packets actually resent after an RTO expiry.
+	Retransmits int64
+	// RTOExpirations counts RTO expiry events, including the final expiry
+	// that declares a peer dead (so it can exceed Retransmits by one per
+	// failed peer, and equals Retransmits otherwise).
+	RTOExpirations int64
+	// AckSendFailures counts ACK sends the inner transport rejected.
+	AckSendFailures int64
+	// RetransmitSendFailures counts retransmission sends the inner
+	// transport rejected.
+	RetransmitSendFailures int64
+}
+
+// Snapshot reports this endpoint's reliability counters. The values are
+// exact for this endpoint; the process-wide telemetry registry additionally
+// aggregates them across endpoints under the diwarp_rudp_* metric names.
+func (e *Endpoint) Snapshot() Snapshot {
+	return Snapshot{
+		Retransmits:            e.retransmits.Load(),
+		RTOExpirations:         e.rtoExpired.Load(),
+		AckSendFailures:        e.ackSendFail.Load(),
+		RetransmitSendFailures: e.dataSendFail.Load(),
+	}
+}
+
 // SendErrors reports how many ACK or retransmission sends the inner
 // transport has rejected. The protocol recovers from each individually; a
 // growing count means the transport below is unhealthy.
-func (e *Endpoint) SendErrors() uint64 { return e.sendErrs.Load() }
+func (e *Endpoint) SendErrors() uint64 {
+	return uint64(e.ackSendFail.Load() + e.dataSendFail.Load())
+}
 
 // LocalAddr implements transport.Datagram.
 func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }

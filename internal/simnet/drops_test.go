@@ -1,0 +1,70 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDropCauseAccounting pins each drop path to its own counter: Bernoulli
+// wire loss, latency-stranded deliveries, and multicast-leg drops must be
+// distinguishable post-hoc, not folded into one "lost" number.
+func TestDropCauseAccounting(t *testing.T) {
+	t.Run("bernoulli", func(t *testing.T) {
+		n := New(Config{LossRate: 1.0})
+		a, _ := n.OpenDatagram("a", 0)
+		b, _ := n.OpenDatagram("b", 0)
+		defer a.Close()
+		defer b.Close()
+		if err := a.SendTo([]byte("doomed"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		c := n.Counters()
+		if c.LostLoss != 1 || c.LostLatency != 0 || c.LostMcast != 0 {
+			t.Fatalf("counters after wire loss: %+v", c)
+		}
+		if c.DatagramsLost != 1 {
+			t.Fatalf("DatagramsLost = %d, want 1 (sum of causes)", c.DatagramsLost)
+		}
+	})
+
+	t.Run("latency-stranded", func(t *testing.T) {
+		n := New(Config{Latency: 20 * time.Millisecond})
+		a, _ := n.OpenDatagram("a", 0)
+		b, _ := n.OpenDatagram("b", 0)
+		defer a.Close()
+		if err := a.SendTo([]byte("in flight"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		b.Close() // strand the delayed delivery
+		deadline := time.Now().Add(2 * time.Second)
+		for n.Counters().LostLatency == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("stranded delivery never counted: %+v", n.Counters())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		c := n.Counters()
+		if c.LostLoss != 0 || c.LostMcast != 0 {
+			t.Fatalf("wrong cause charged: %+v", c)
+		}
+	})
+
+	t.Run("mcast-leg", func(t *testing.T) {
+		n := New(Config{LossRate: 1.0})
+		group := GroupAddr(9)
+		src, _ := n.OpenDatagram("src", 0)
+		m, _ := n.OpenDatagram("m", 0)
+		defer src.Close()
+		defer m.Close()
+		if err := n.Join(group, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.SendTo([]byte("group"), group); err != nil {
+			t.Fatal(err)
+		}
+		c := n.Counters()
+		if c.LostMcast != 1 || c.LostLoss != 0 || c.LostLatency != 0 {
+			t.Fatalf("counters after mcast-leg loss: %+v", c)
+		}
+	})
+}

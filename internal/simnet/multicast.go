@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -110,13 +111,14 @@ func (e *DatagramEndpoint) sendMulticast(p []byte, group transport.Addr) error {
 		if dst == e {
 			continue
 		}
-		nw.sent.Add(1)
+		nw.sent.Inc()
 		nw.bytes.Add(int64(len(p)))
 		nw.frags.Add(int64(k))
 		dropped := false
 		for i := 0; i < k; i++ {
 			if nw.chance(loss) {
-				nw.lost.Add(1)
+				nw.lostMcast.Inc()
+				telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(dst.addr), len(p), telemetry.DropMcast)
 				dropped = true
 				break
 			}
@@ -128,12 +130,13 @@ func (e *DatagramEndpoint) sendMulticast(p []byte, group transport.Addr) error {
 		copy(buf, p)
 		reorder := nw.chance(nw.reorderMicro.Load())
 		if reorder {
-			nw.reorder.Add(1)
+			nw.reorder.Inc()
 		}
 		// Multicast is unreliable per member: a closed member queue drops
 		// the copy like loss on the wire. Count it and recycle the buffer.
 		if err := dst.q.put(packet{payload: buf, from: e.addr}, reorder); err != nil {
-			nw.lost.Add(1)
+			nw.lostMcast.Inc()
+			telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(dst.addr), len(p), telemetry.DropMcast)
 			putPktBuf(buf)
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -73,10 +74,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Counters exposes the simulator's traffic statistics.
+// Counters exposes the simulator's traffic statistics. Losses are split by
+// cause — Bernoulli wire loss, latency-stranded deliveries (the destination
+// closed while the packet was in flight), and multicast-leg drops — with
+// DatagramsLost their sum, so experiments can attribute loss instead of
+// guessing.
 type Counters struct {
 	DatagramsSent    int64
 	DatagramsLost    int64
+	LostLoss         int64 // Bernoulli wire loss (unicast legs)
+	LostLatency      int64 // latency-delayed packet found its destination closed
+	LostMcast        int64 // multicast legs lost (wire loss or closed member)
 	DatagramsDup     int64
 	DatagramsReorder int64
 	FragmentsSent    int64
@@ -103,7 +111,10 @@ type Network struct {
 	mcastOnce   sync.Once
 	mcastGroups *mcastState
 
-	sent, lost, dup, reorder, frags, bytes atomic.Int64
+	// Traffic counters are telemetry-registry handles (DESIGN.md §4.6),
+	// with loss accounted per cause.
+	sent, dup, reorder, frags, bytes *telemetry.Counter
+	lostLoss, lostLatency, lostMcast *telemetry.Counter
 }
 
 // New creates a network with the given configuration.
@@ -119,6 +130,14 @@ func New(cfg Config) *Network {
 	n.lossMicro.Store(int64(cfg.LossRate * 1e6))
 	n.reorderMicro.Store(int64(cfg.ReorderRate * 1e6))
 	n.dupMicro.Store(int64(cfg.DupRate * 1e6))
+	n.sent = telemetry.Default.Counter("diwarp_simnet_datagrams_sent_total")
+	n.dup = telemetry.Default.Counter("diwarp_simnet_dup_total")
+	n.reorder = telemetry.Default.Counter("diwarp_simnet_reorder_total")
+	n.frags = telemetry.Default.Counter("diwarp_simnet_fragments_total")
+	n.bytes = telemetry.Default.Counter("diwarp_simnet_bytes_sent_total")
+	n.lostLoss = telemetry.Default.Counter("diwarp_simnet_drop_loss_total")
+	n.lostLatency = telemetry.Default.Counter("diwarp_simnet_drop_latency_total")
+	n.lostMcast = telemetry.Default.Counter("diwarp_simnet_drop_mcast_total")
 	return n
 }
 
@@ -134,9 +153,13 @@ func (n *Network) SetDupRate(p float64) { n.dupMicro.Store(int64(p * 1e6)) }
 
 // Counters returns a snapshot of traffic statistics.
 func (n *Network) Counters() Counters {
+	loss, lat, mc := n.lostLoss.Load(), n.lostLatency.Load(), n.lostMcast.Load()
 	return Counters{
 		DatagramsSent:    n.sent.Load(),
-		DatagramsLost:    n.lost.Load(),
+		DatagramsLost:    loss + lat + mc,
+		LostLoss:         loss,
+		LostLatency:      lat,
+		LostMcast:        mc,
 		DatagramsDup:     n.dup.Load(),
 		DatagramsReorder: n.reorder.Load(),
 		FragmentsSent:    n.frags.Load(),
@@ -254,7 +277,7 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
 	}
-	nw.sent.Add(1)
+	nw.sent.Inc()
 	nw.bytes.Add(int64(len(p)))
 	k := nw.fragments(len(p))
 	nw.frags.Add(int64(k))
@@ -263,14 +286,15 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 	loss := nw.lossMicro.Load()
 	for i := 0; i < k; i++ {
 		if nw.chance(loss) {
-			nw.lost.Add(1)
+			nw.lostLoss.Inc()
+			telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(to), len(p), telemetry.DropLoss)
 			return nil // silently dropped, like a real lossy network
 		}
 	}
 	deliver := func(pk packet) error {
 		reorder := nw.chance(nw.reorderMicro.Load())
 		if reorder {
-			nw.reorder.Add(1)
+			nw.reorder.Inc()
 		}
 		if err := dst.q.put(pk, reorder); err != nil {
 			return fmt.Errorf("%w: %s", transport.ErrNoRoute, to)
@@ -284,7 +308,8 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 				// (destination queue closed mid-flight) is a lost packet.
 				// Count it and recycle the buffer nobody will consume.
 				if err := deliver(pk); err != nil {
-					nw.lost.Add(1)
+					nw.lostLatency.Inc()
+					telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(to), len(pk.payload), telemetry.DropLatency)
 					putPktBuf(pk.payload)
 				}
 			})
@@ -298,7 +323,7 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 		return err
 	}
 	if nw.chance(nw.dupMicro.Load()) {
-		nw.dup.Add(1)
+		nw.dup.Inc()
 		// The duplicate needs its own buffer: the receiver may recycle the
 		// first copy's storage before consuming the second.
 		dupBuf := getPktBuf(len(p))
@@ -337,14 +362,15 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 	batch := make([]packet, 0, len(pkts))
 	orig := make([]int, 0, len(pkts)) // source datagram index per batch slot
 	for i, p := range pkts {
-		nw.sent.Add(1)
+		nw.sent.Inc()
 		nw.bytes.Add(int64(len(p)))
 		k := nw.fragments(len(p))
 		nw.frags.Add(int64(k))
 		dropped := false
 		for f := 0; f < k; f++ {
 			if nw.chance(loss) {
-				nw.lost.Add(1)
+				nw.lostLoss.Inc()
+				telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(to), len(p), telemetry.DropLoss)
 				dropped = true
 				break
 			}
@@ -356,7 +382,7 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 		copy(buf, p)
 		pk := packet{payload: buf, from: e.addr}
 		if nw.chance(nw.reorderMicro.Load()) && len(batch) > 0 {
-			nw.reorder.Add(1)
+			nw.reorder.Inc()
 			last := len(batch) - 1
 			batch = append(batch, batch[last])
 			orig = append(orig, orig[last])
@@ -367,7 +393,7 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 			orig = append(orig, i)
 		}
 		if nw.chance(nw.dupMicro.Load()) {
-			nw.dup.Add(1)
+			nw.dup.Inc()
 			dupBuf := getPktBuf(len(p))
 			copy(dupBuf, p)
 			batch = append(batch, packet{payload: dupBuf, from: e.addr})

@@ -9,6 +9,7 @@ import (
 	iwarp "repro/internal/core"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -67,7 +68,14 @@ type Socket struct {
 	rcqp    *iwarp.RCQP
 	pending []byte // partial inbound message remainder (stream semantics)
 
-	stats SocketStats
+	// Socket counters are telemetry-registry handles (DESIGN.md §4.6):
+	// Stats() reads this socket's handles exactly, and the process scrape
+	// sums every socket under the diwarp_sock_* names. Handles are atomic,
+	// so they are bumped without s.mu.
+	stats struct {
+		msgsSent, msgsRecv, bytesSent, bytesRecv *telemetry.Counter
+		truncated, droppedIncomplete             *telemetry.Counter
+	}
 }
 
 // SocketStats counts socket-level events.
@@ -76,6 +84,18 @@ type SocketStats struct {
 	BytesSent, BytesReceived int64
 	Truncated                int64 // messages dropped: larger than slab buffers
 	DroppedIncomplete        int64 // Write-Record messages dropped with holes
+}
+
+// newSocket builds a bare socket with its counters registered.
+func newSocket(ifc *Interface, t Type) *Socket {
+	s := &Socket{ifc: ifc, typ: t}
+	s.stats.msgsSent = telemetry.Default.Counter("diwarp_sock_msgs_sent_total")
+	s.stats.msgsRecv = telemetry.Default.Counter("diwarp_sock_msgs_recv_total")
+	s.stats.bytesSent = telemetry.Default.Counter("diwarp_sock_bytes_sent_total")
+	s.stats.bytesRecv = telemetry.Default.Counter("diwarp_sock_bytes_recv_total")
+	s.stats.truncated = telemetry.Default.Counter("diwarp_sock_truncated_total")
+	s.stats.droppedIncomplete = telemetry.Default.Counter("diwarp_sock_dropped_incomplete_total")
+	return s
 }
 
 type dgramMsg struct {
@@ -98,9 +118,14 @@ func (s *Socket) Type() Type { return s.typ }
 
 // Stats returns a snapshot of socket counters.
 func (s *Socket) Stats() SocketStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return SocketStats{
+		MsgsSent:          s.stats.msgsSent.Load(),
+		MsgsReceived:      s.stats.msgsRecv.Load(),
+		BytesSent:         s.stats.bytesSent.Load(),
+		BytesReceived:     s.stats.bytesRecv.Load(),
+		Truncated:         s.stats.truncated.Load(),
+		DroppedIncomplete: s.stats.droppedIncomplete.Load(),
+	}
 }
 
 // initUD builds the datagram QP and pre-posts the receive slab.
@@ -320,8 +345,8 @@ func (s *Socket) SendTo(p []byte, to transport.Addr) error {
 		s.ringCursor += len(p)
 		s.ringSent += uint64(len(p))
 	}
-	s.stats.MsgsSent++
-	s.stats.BytesSent += int64(len(p))
+	s.stats.msgsSent.Inc()
+	s.stats.bytesSent.Add(int64(len(p)))
 	s.mu.Unlock()
 
 	var err error
@@ -383,9 +408,9 @@ func (s *Socket) Send(p []byte) error {
 		if s.rcqp == nil {
 			return ErrNotConnected
 		}
+		s.stats.msgsSent.Inc()
+		s.stats.bytesSent.Add(int64(len(p)))
 		s.mu.Lock()
-		s.stats.MsgsSent++
-		s.stats.BytesSent += int64(len(p))
 		wr := s.wrMode
 		s.mu.Unlock()
 		if wr {
@@ -427,9 +452,7 @@ func (s *Socket) pump(timeout time.Duration) error {
 			return transport.ErrClosed
 		}
 		if e.Status == iwarp.StatusLocalLength {
-			s.mu.Lock()
-			s.stats.Truncated++
-			s.mu.Unlock()
+			s.stats.truncated.Inc()
 			s.repost(idx)
 			return nil
 		}
@@ -463,9 +486,9 @@ func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 		copy(data, buf)
 		s.mu.Lock()
 		s.rxq = append(s.rxq, dgramMsg{data: data, from: e.Src, slabIdx: -1})
-		s.stats.MsgsReceived++
-		s.stats.BytesReceived += int64(len(data))
 		s.mu.Unlock()
+		s.stats.msgsRecv.Inc()
+		s.stats.bytesRecv.Add(int64(len(data)))
 		s.repost(idx)
 		return
 	}
@@ -479,9 +502,9 @@ func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 		copy(data, buf[1:])
 		s.mu.Lock()
 		s.rxq = append(s.rxq, dgramMsg{data: data, from: e.Src, slabIdx: -1})
-		s.stats.MsgsReceived++
-		s.stats.BytesReceived += int64(len(data))
 		s.mu.Unlock()
+		s.stats.msgsRecv.Inc()
+		s.stats.bytesRecv.Add(int64(len(data)))
 		s.repost(idx)
 	case frameRingReq:
 		s.repost(idx)
@@ -528,9 +551,8 @@ func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 // use partial data consume validity maps directly.
 func (s *Socket) handleRingWrite(e iwarp.CQE) {
 	if !e.Validity.Contains(e.TO, uint64(e.MsgLen)) {
-		s.mu.Lock()
-		s.stats.DroppedIncomplete++
-		s.mu.Unlock()
+		s.stats.droppedIncomplete.Inc()
+		telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(e.Src), e.MsgLen, telemetry.DropIncomplete)
 		return
 	}
 	s.mu.Lock()
@@ -541,10 +563,10 @@ func (s *Socket) handleRingWrite(e iwarp.CQE) {
 	}
 	data := make([]byte, e.MsgLen)
 	copy(data, ring.Bytes()[e.TO:e.TO+uint64(e.MsgLen)])
+	s.stats.msgsRecv.Inc()
+	s.stats.bytesRecv.Add(int64(len(data)))
 	s.mu.Lock()
 	s.rxq = append(s.rxq, dgramMsg{data: data, from: e.Src, slabIdx: -1})
-	s.stats.MsgsReceived++
-	s.stats.BytesReceived += int64(len(data))
 	// Credit accounting: mirror the sender's wrap-skip, then count the
 	// message. Advertise cumulative consumption every quarter ring.
 	if int(e.TO) != s.ringExpect && e.TO == 0 {

@@ -146,7 +146,7 @@ func (ifc *Interface) BindDatagram(port uint16) (*Socket, error) {
 }
 
 func (ifc *Interface) socket(t Type, port uint16) (*Socket, error) {
-	s := &Socket{ifc: ifc, typ: t}
+	s := newSocket(ifc, t)
 	switch t {
 	case DatagramSocket:
 		if ifc.cfg.OpenDatagram == nil {
@@ -241,7 +241,7 @@ func (sl *StreamListener) Accept() (*Socket, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Socket{ifc: sl.ifc, typ: StreamSocket}
+	s := newSocket(sl.ifc, StreamSocket)
 	if err := s.initRCAccept(stream); err != nil {
 		stream.Close() //diwarp:ignore errflow — error-path cleanup of a stream never exposed; initRCAccept's error is the one to report
 		return nil, err

@@ -141,9 +141,9 @@ func (s *Socket) handleStreamWRFrame(idx int, e iwarp.CQE) {
 		copy(data, buf[1:])
 		s.mu.Lock()
 		s.rxq = append(s.rxq, dgramMsg{data: data, from: e.Src, slabIdx: -1})
-		s.stats.MsgsReceived++
-		s.stats.BytesReceived += int64(len(data))
 		s.mu.Unlock()
+		s.stats.msgsRecv.Inc()
+		s.stats.bytesRecv.Add(int64(len(data)))
 		s.repost(idx)
 	case frameWRNotify:
 		if len(buf) < notifyLen {
@@ -181,10 +181,10 @@ func (s *Socket) consumeRingWrite(to uint64, n int, from transport.Addr) {
 	}
 	data := make([]byte, n)
 	copy(data, ring.Bytes()[to:to+uint64(n)])
+	s.stats.msgsRecv.Inc()
+	s.stats.bytesRecv.Add(int64(n))
 	s.mu.Lock()
 	s.rxq = append(s.rxq, dgramMsg{data: data, from: from, slabIdx: -1})
-	s.stats.MsgsReceived++
-	s.stats.BytesReceived += int64(n)
 	if int(to) != s.ringExpect && to == 0 {
 		s.ringRecvd += uint64(ring.Len() - s.ringExpect)
 	}

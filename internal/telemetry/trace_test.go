@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestRingRecordAndDrain(t *testing.T) {
+	r := NewRing(64)
+	tok := PeerToken(transport.Addr{Node: "trace-test-a", Port: 7})
+	r.Record(EvSend, tok, 100, 1)
+	r.Record(EvRecv, tok, 100, 1)
+	r.Record(EvDrop, 0, 42, DropLoss)
+
+	evs := r.Drain()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if evs[0].Type != EvSend || evs[1].Type != EvRecv || evs[2].Type != EvDrop {
+		t.Fatalf("types = %v %v %v", evs[0].Type, evs[1].Type, evs[2].Type)
+	}
+	if evs[0].Peer != (transport.Addr{Node: "trace-test-a", Port: 7}) {
+		t.Fatalf("peer round trip failed: %v", evs[0].Peer)
+	}
+	if evs[2].Bytes != 42 || evs[2].Arg != DropLoss {
+		t.Fatalf("drop event = %+v", evs[2])
+	}
+	if evs[2].Peer != (transport.Addr{}) {
+		t.Fatalf("token 0 must decode to the zero addr, got %v", evs[2].Peer)
+	}
+
+	// Drain consumes: a second drain returns only newer events.
+	if again := r.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events", len(again))
+	}
+	r.Record(EvRetransmit, 0, 9, 5)
+	evs = r.Drain()
+	if len(evs) != 1 || evs[0].Seq != 4 || evs[0].Type != EvRetransmit {
+		t.Fatalf("post-drain event = %+v", evs)
+	}
+}
+
+func TestRingWrapAccountsOverwritten(t *testing.T) {
+	r := NewRing(64) // minimum/rounded capacity: exactly 64 slots
+	const n = 200
+	for i := 0; i < n; i++ {
+		r.Record(EvSend, 0, i, uint32(i))
+	}
+	evs := r.Drain()
+	if len(evs) != r.Cap() {
+		t.Fatalf("drained %d events, want capacity %d", len(evs), r.Cap())
+	}
+	// The survivors are the newest Cap() events, oldest first.
+	if evs[0].Seq != n-uint64(r.Cap())+1 || evs[len(evs)-1].Seq != n {
+		t.Fatalf("seq range [%d,%d], want [%d,%d]",
+			evs[0].Seq, evs[len(evs)-1].Seq, n-r.Cap()+1, n)
+	}
+	if got := r.Overwritten(); got != n-uint64(r.Cap()) {
+		t.Fatalf("overwritten = %d, want %d", got, n-r.Cap())
+	}
+	if r.Cursor() != n {
+		t.Fatalf("cursor = %d, want %d", r.Cursor(), n)
+	}
+}
+
+func TestRingNilIsDisabled(t *testing.T) {
+	var r *Ring
+	r.Record(EvSend, 0, 1, 0) // must not panic
+}
+
+// TestRingConcurrent drives recorders through wrap while a drainer runs —
+// under -race this exercises the seqlock-style stamp discipline; torn or
+// overwritten entries are accounted, never corrupt.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(128)
+	const (
+		workers = 4
+		per     = 5000
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var drained []Event
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			drained = append(drained, r.Drain()...)
+			select {
+			case <-done:
+				drained = append(drained, r.Drain()...)
+				return
+			default:
+			}
+		}
+	}()
+	var rec sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			for i := 0; i < per; i++ {
+				r.Record(EvSend, 0, i, uint32(w))
+			}
+		}(w)
+	}
+	rec.Wait()
+	close(done)
+	wg.Wait()
+
+	seen := make(map[uint64]bool, len(drained))
+	for _, e := range drained {
+		if e.Seq == 0 || e.Seq > workers*per {
+			t.Fatalf("impossible seq %d", e.Seq)
+		}
+		if seen[e.Seq] {
+			t.Fatalf("seq %d drained twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	// Conservation: every recorded event was drained, overwritten, or torn.
+	total := uint64(len(drained)) + r.Overwritten() + r.torn.Load()
+	if total != workers*per {
+		t.Fatalf("drained %d + overwritten %d + torn %d != recorded %d",
+			len(drained), r.Overwritten(), r.torn.Load(), workers*per)
+	}
+}
+
+func TestPeerTokenStable(t *testing.T) {
+	a := transport.Addr{Node: "trace-test-stable", Port: 1}
+	t1 := PeerToken(a)
+	t2 := PeerToken(a)
+	if t1 == 0 || t1 != t2 {
+		t.Fatalf("tokens %d, %d", t1, t2)
+	}
+	if got := PeerOf(t1); got != a {
+		t.Fatalf("PeerOf(%d) = %v, want %v", t1, got, a)
+	}
+	if b := PeerToken(transport.Addr{Node: "trace-test-stable", Port: 2}); b == t1 {
+		t.Fatal("distinct addrs shared a token")
+	}
+	if got := PeerOf(1 << 30); got != (transport.Addr{}) {
+		t.Fatalf("unknown token resolved to %v", got)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for ty, want := range map[EventType]string{
+		EvSend: "SEND", EvRecv: "RECV", EvRetransmit: "RETRANSMIT",
+		EvDrop: "DROP", EvWriteRecord: "WRITE_RECORD", EvCRCFail: "CRC_FAIL",
+		EvNone: "NONE", EventType(200): "NONE",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
