@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-short bench bench-datapath telemetry-smoke check clean
+.PHONY: all build test race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke check clean
 
 all: build
 
@@ -38,6 +38,13 @@ bench:
 # Just the UD send datapath (pooled segmentation + batch submit + CRC32C).
 bench-datapath:
 	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkChecksum' -benchmem -run=^$$ ./internal/ddp/ ./internal/crcx/
+
+# One fast pass over both datapath benchmarks (send + batched receive):
+# not for numbers — it proves the benchmarks still build, run, and hold
+# the 0 allocs/op receive bar (TestRecvPathAllocFree runs alongside).
+bench-smoke:
+	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkUDRecvPath' -benchtime=0.2s -benchmem \
+		-run='TestRecvPathAllocFree|TestSendPathAllocFree' ./internal/ddp/
 
 # Boot the daemon over a 1%-lossy simnet, scrape its own /metrics, and
 # fail unless the datapath counters show traffic, loss, and rudp recovery

@@ -72,3 +72,39 @@ func coldPath(n int) string {
 	defer mu.Unlock()
 	return fmt.Sprintf("%d", n)
 }
+
+type addr struct{ port uint16 }
+
+// badRecvBatch is the batched-receive shape done wrong: fresh destination
+// slices and a per-packet copy buffer allocated inside the annotated
+// function instead of being supplied by the caller or a pool.
+//
+//diwarp:hotpath
+func badRecvBatch(n int) ([][]byte, []addr) {
+	pkts := make([][]byte, n) // want `allocates with make`
+	froms := make([]addr, n)  // want `allocates with make`
+	for i := range pkts {
+		pkts[i] = make([]byte, 2048) // want `allocates with make`
+		froms[i] = addr{port: uint16(i)}
+	}
+	return pkts, froms
+}
+
+// goodRecvBatch is the same shape done right: the caller owns the
+// destination slices, buffers come from the pool, and per-packet state is
+// struct values written in place — nothing escapes, nothing allocates.
+//
+//diwarp:hotpath
+func goodRecvBatch(pkts [][]byte, froms []addr) int {
+	n := 0
+	for i := range pkts {
+		buf, _ := pool.Get().([]byte)
+		if buf == nil {
+			break // pool empty: cold refill is the caller's problem
+		}
+		pkts[i] = buf[:0]
+		froms[i] = addr{port: uint16(i)}
+		n++
+	}
+	return n
+}

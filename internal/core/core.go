@@ -170,6 +170,22 @@ type Stats struct {
 	SegmentsSent int64 // wire segments emitted by the segmented send path
 	PoolHits     int64 // segment buffers served from the send pool
 	PoolMisses   int64 // segment buffers that had to be allocated
+
+	// Receive-datapath counters (UD QPs; zero on RC QPs).
+	BatchesRecv    int64 // RecvBatch bursts pulled from the LLP
+	SegmentsRecv   int64 // CRC-valid segments handed to the placement pipeline
+	Recycled       int64 // receive buffers returned to the LLP's pool
+	RecvPoolHits   int64 // LLP receive buffers served from its pool
+	RecvPoolMisses int64 // LLP receive buffers that had to be allocated
+}
+
+// SegmentsPerRecvBatch reports the mean burst size the receive path
+// achieved, or 0 before any batched receive.
+func (s Stats) SegmentsPerRecvBatch() float64 {
+	if s.BatchesRecv == 0 {
+		return 0
+	}
+	return float64(s.SegmentsRecv) / float64(s.BatchesRecv)
 }
 
 // SegmentsPerBatch reports the mean burst size the send path achieved, or 0

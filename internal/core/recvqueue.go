@@ -5,43 +5,63 @@ import "sync"
 // recvQueue is the posted-receive FIFO of a queue pair. The receiver side
 // "handles all of the buffer management and determines where incoming data
 // will be placed" (§II): each completed untagged message consumes the WR at
-// the head.
+// the head. The avail channel is pulsed on every post so an RNR-blocked
+// placement worker parks on a notification instead of spin-polling.
 type recvQueue struct {
 	mu    sync.Mutex
 	wrs   []RecvWR
 	depth int
+	avail chan struct{}
 }
 
 func newRecvQueue(depth int) *recvQueue {
 	if depth <= 0 {
 		depth = 256
 	}
-	return &recvQueue{depth: depth}
+	return &recvQueue{depth: depth, avail: make(chan struct{}, 1)}
+}
+
+// notify pulses a capacity-1 channel without blocking.
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 // post appends a receive WR, failing when the queue is at depth.
 func (q *recvQueue) post(wr RecvWR) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if len(q.wrs) >= q.depth {
+		q.mu.Unlock()
 		return ErrRecvQueueFull
 	}
 	q.wrs = append(q.wrs, wr)
+	q.mu.Unlock()
+	notify(q.avail)
 	return nil
 }
 
-// pop removes and returns the head WR.
+// pop removes and returns the head WR. When WRs remain after the pop, the
+// avail pulse is re-armed: several workers can be parked in waitRecv while
+// the capacity-1 channel holds only one token, and the cascade hands the
+// wakeup on so no posted receive strands a waiter (lost-wakeup avoidance).
 func (q *recvQueue) pop() (RecvWR, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if len(q.wrs) == 0 {
+		q.mu.Unlock()
 		return RecvWR{}, false
 	}
 	wr := q.wrs[0]
 	q.wrs[0] = RecvWR{}
 	q.wrs = q.wrs[1:]
-	if len(q.wrs) == 0 {
+	remaining := len(q.wrs)
+	if remaining == 0 {
 		q.wrs = nil
+	}
+	q.mu.Unlock()
+	if remaining > 0 {
+		notify(q.avail)
 	}
 	return wr, true
 }

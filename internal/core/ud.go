@@ -3,6 +3,7 @@ package iwarp
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,20 @@ type UDConfig struct {
 	// stall. Never enable over a raw unreliable endpoint — it would let
 	// one slow receiver stall the placement engine for all peers.
 	BlockOnRNR bool
+	// RecvWorkers sets how many placement workers the receive pipeline
+	// runs (default min(4, GOMAXPROCS)). Arriving segments are sharded to
+	// workers by source peer, so per-peer completion order is preserved
+	// while independent peers parse, reassemble, and place concurrently;
+	// 1 degrades to the serial engine.
+	RecvWorkers int
+}
+
+// recvWorkers resolves the configured worker count.
+func (cfg UDConfig) recvWorkers() int {
+	if cfg.RecvWorkers > 0 {
+		return cfg.RecvWorkers
+	}
+	return min(4, runtime.GOMAXPROCS(0))
 }
 
 // UDQP is a datagram (unreliable datagram, or — when bound to an
@@ -58,9 +73,9 @@ type UDQP struct {
 	cfg    UDConfig
 
 	rq         *recvQueue
-	reasmMu    sync.Mutex // guards reasm (shared by recvLoop and sweeper)
-	reasm      *ddp.Reassembler
-	reasmBytes atomic.Int64 // snapshot of reassembler memory, for Footprint
+	workers    []*udWorker    // placement workers, sharded by source peer
+	workerWG   sync.WaitGroup // placeLoop goroutines
+	reasmBytes atomic.Int64   // snapshot of reassembler memory, for Footprint
 	msn        atomic.Uint32
 
 	recMu   sync.Mutex // guards records (Write-Record message trackers)
@@ -79,6 +94,81 @@ type UDQP struct {
 		msgsSent, msgsRecv, bytesSent, bytesRecv          *telemetry.Counter
 		recvDropped, placed, placeErr, reassembled, swept *telemetry.Counter
 	}
+}
+
+// recvBurst bounds one demux pull from the DDP channel; it matches the DDP
+// and transport burst sizes so a full send burst crosses each stage whole.
+const recvBurst = 32
+
+// workerQueueDepth buffers each placement worker's inbox. A full inbox
+// stalls the demux stage — the pipeline's flow control, standing in for
+// the RNR backpressure a hardware receive pipeline would apply.
+const workerQueueDepth = 256
+
+// recvItem is one parsed, CRC-valid segment in flight from the demux stage
+// to a placement worker. The segment's Payload aliases Raw, which the
+// worker recycles after placement.
+type recvItem struct {
+	seg  ddp.Segment
+	from transport.Addr
+}
+
+// udWorker is one placement worker: an inbox fed by the demux stage and
+// the claims of multi-segment untagged messages in flight from its peers.
+// Sharding by source peer means a peer's segments always meet the same
+// worker, so claim state needs no cross-worker coordination; Write-Record
+// trackers and pending reads stay on the QP's shared maps (their keys
+// include the peer, so each key is only ever touched by one worker anyway,
+// but the sweeper also walks them). With one worker the demux dispatches
+// inline and no placeLoop goroutine runs (in stays nil).
+type udWorker struct {
+	in      chan recvItem
+	claimMu sync.Mutex // guards claims (shared by placeLoop and sweeper)
+	claims  map[claimKey]*udClaim
+}
+
+// claimKey identifies one in-flight multi-segment untagged message,
+// mirroring the DDP reassembly key (source, queue, MSN).
+type claimKey struct {
+	from transport.Addr
+	qn   uint32
+	msn  uint32
+}
+
+// udClaim is the receive-side state of one multi-segment untagged message:
+// the posted receive it claimed when its first segment arrived, plus
+// arrival tracking. Segments are placed directly into the claimed buffer —
+// there is no staging allocation and no reassembly copy, mirroring how an
+// RNIC lands untagged data in the posted receive as it arrives. A claim
+// without a receive (hasWR false) is a tombstone: the message was already
+// counted dropped, and it absorbs the remaining segments so they neither
+// consume a later receive nor recount the drop.
+type udClaim struct {
+	wr      RecvWR
+	hasWR   bool
+	msgLen  uint32
+	arrived memreg.ValidityMap
+	born    time.Time
+}
+
+// shardOf maps a source peer to a placement worker: FNV-1a over the node
+// name and port. All traffic from one peer lands on one worker — the
+// ordering invariant the completion semantics need — while independent
+// peers spread across the pool.
+//
+//diwarp:hotpath
+func shardOf(from transport.Addr, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(from.Node); i++ {
+		h ^= uint32(from.Node[i])
+		h *= 16777619
+	}
+	h ^= uint32(from.Port)
+	h *= 16777619
+	return int(h % uint32(n))
 }
 
 // wrKey identifies one in-flight Write-Record message at the target.
@@ -114,9 +204,12 @@ func OpenUD(ep transport.Datagram, pd *memreg.PD, tbl *memreg.Table, sendCQ, rec
 		recvCQ:       recvCQ,
 		cfg:          cfg,
 		rq:           newRecvQueue(cfg.RecvDepth),
-		reasm:        ddp.NewReassembler(cfg.ReassemblyTimeout),
 		records:      make(map[wrKey]*wrTracker),
 		pendingReads: make(map[wrKey]*pendingUDRead),
+	}
+	qp.workers = make([]*udWorker, cfg.recvWorkers())
+	for i := range qp.workers {
+		qp.workers[i] = &udWorker{claims: make(map[claimKey]*udClaim)}
 	}
 	qp.stats.msgsSent = telemetry.Default.Counter("diwarp_ud_msgs_sent_total")
 	qp.stats.msgsRecv = telemetry.Default.Counter("diwarp_ud_msgs_recv_total")
@@ -129,6 +222,15 @@ func OpenUD(ep transport.Datagram, pd *memreg.PD, tbl *memreg.Table, sendCQ, rec
 	qp.stats.swept = telemetry.Default.Counter("diwarp_ud_swept_total")
 	qp.done = make(chan struct{})
 	qp.wg.Add(2)
+	// One worker means the demux goroutine places inline: no inbox, no
+	// channel hop, no placeLoop — the serial engine with batching kept.
+	if len(qp.workers) > 1 {
+		qp.workerWG.Add(len(qp.workers))
+		for _, w := range qp.workers {
+			w.in = make(chan recvItem, workerQueueDepth)
+			go qp.placeLoop(w)
+		}
+	}
 	go qp.recvLoop()
 	go qp.sweepLoop()
 	return qp, nil
@@ -214,47 +316,90 @@ func (qp *UDQP) PostWriteRecord(id uint64, dest transport.Addr, stag memreg.STag
 	return nil
 }
 
-// recvLoop is the QP's placement engine: it parses arriving segments,
-// reassembles untagged messages, places tagged ones, and generates
-// completions. It exits when the endpoint closes. It blocks without a
-// timeout — reassembly garbage collection runs in sweepLoop — so an idle
+// recvLoop is the receive pipeline's demux stage: it pulls bursts of
+// CRC-valid segments from the DDP channel and shards each to a placement
+// worker by source peer, so one queue wakeup and one batch of queue locks
+// serve up to recvBurst datagrams. It exits when the endpoint closes,
+// draining the workers before flushing posted receives. It blocks without
+// a timeout — reassembly garbage collection runs in sweepLoop — so an idle
 // QP parks cheaply, with no timer churn on the per-datagram path.
 func (qp *UDQP) recvLoop() {
 	defer qp.wg.Done()
+	var segs [recvBurst]ddp.Segment
+	var froms [recvBurst]transport.Addr
+	nw := len(qp.workers)
 	for {
-		seg, from, err := qp.ch.Recv(0)
+		n, err := qp.ch.RecvBatch(segs[:], froms[:], 0)
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				continue
 			}
+			if nw > 1 {
+				for _, w := range qp.workers {
+					close(w.in)
+				}
+				qp.workerWG.Wait()
+			}
 			qp.flushRecvs()
 			return
 		}
-		op, perr := rdmap.ParseCtrl(seg.RDMAP)
-		if perr != nil {
-			qp.advisory(from, perr)
+		if nw == 1 {
+			// Single worker: place inline on the demux goroutine — no channel
+			// hop, no second wakeup per burst.
+			w := qp.workers[0]
+			for i := 0; i < n; i++ {
+				qp.dispatch(w, froms[i], &segs[i])
+				qp.ch.Recycle(segs[i].Raw)
+				segs[i] = ddp.Segment{}
+			}
 			continue
 		}
-		switch op {
-		case rdmap.OpSend, rdmap.OpSendSE:
-			qp.handleSend(from, &seg)
-		case rdmap.OpWriteRecord:
-			qp.handleWriteRecord(from, &seg)
-		case rdmap.OpReadReq:
-			qp.handleReadReq(from, &seg)
-		case rdmap.OpReadResp:
-			qp.handleReadResp(from, &seg)
-		case rdmap.OpTerminate:
-			if t, terr := rdmap.ParseTerminate(seg.Payload); terr == nil {
-				qp.advisory(from, t)
-			}
-		default:
-			// RDMA Write (non-Record) is undefined over UD; report, stay up.
-			qp.advisory(from, fmt.Errorf("%w over datagram QP: %s", rdmap.ErrBadOpcode, op))
+		for i := 0; i < n; i++ {
+			// A full worker inbox blocks here: demux stalls until the worker
+			// catches up, which in turn backpressures the LLP's queue — the
+			// pipeline's flow control.
+			qp.workers[shardOf(froms[i], nw)].in <- recvItem{seg: segs[i], from: froms[i]}
+			segs[i] = ddp.Segment{} // drop the Raw reference: the worker owns it
 		}
-		// Every handler above copies (or places) the payload before
-		// returning, so the transport buffer can go back to its pool.
-		qp.ch.Recycle(seg.Raw)
+	}
+}
+
+// placeLoop is one placement worker: it parses the RDMAP opcode, dispatches
+// to the appropriate handler, and recycles the transport buffer once the
+// payload has been copied or placed.
+func (qp *UDQP) placeLoop(w *udWorker) {
+	defer qp.workerWG.Done()
+	for it := range w.in {
+		qp.dispatch(w, it.from, &it.seg)
+		// Every handler copies (or places) the payload before returning, so
+		// the transport buffer can go back to its pool.
+		qp.ch.Recycle(it.seg.Raw)
+	}
+}
+
+// dispatch routes one segment to its opcode's handler.
+func (qp *UDQP) dispatch(w *udWorker, from transport.Addr, seg *ddp.Segment) {
+	op, perr := rdmap.ParseCtrl(seg.RDMAP)
+	if perr != nil {
+		qp.advisory(from, perr)
+		return
+	}
+	switch op {
+	case rdmap.OpSend, rdmap.OpSendSE:
+		qp.handleSend(w, from, seg)
+	case rdmap.OpWriteRecord:
+		qp.handleWriteRecord(from, seg)
+	case rdmap.OpReadReq:
+		qp.handleReadReq(from, seg)
+	case rdmap.OpReadResp:
+		qp.handleReadResp(from, seg)
+	case rdmap.OpTerminate:
+		if t, terr := rdmap.ParseTerminate(seg.Payload); terr == nil {
+			qp.advisory(from, t)
+		}
+	default:
+		// RDMA Write (non-Record) is undefined over UD; report, stay up.
+		qp.advisory(from, fmt.Errorf("%w over datagram QP: %s", rdmap.ErrBadOpcode, op))
 	}
 }
 
@@ -271,46 +416,137 @@ func (qp *UDQP) advisory(from transport.Addr, err error) {
 	qp.recvCQ.post(CQE{Type: WTError, Status: StatusBadWR, Err: err, Src: from})
 }
 
-func (qp *UDQP) handleSend(from transport.Addr, seg *ddp.Segment) {
-	qp.reasmMu.Lock()
-	msg, done := qp.reasm.Add(from, seg)
-	qp.reasmMu.Unlock()
-	if !done {
+// handleSend completes one untagged message. Single-segment messages (the
+// common case below the 64 KB datagram limit) take a direct path: the
+// payload still aliases the transport buffer and is copied ONCE, into the
+// posted receive. Multi-segment messages claim the posted receive at first
+// arrival and place each segment directly into it — no staging buffer, no
+// reassembly copy.
+//
+//diwarp:hotpath
+func (qp *UDQP) handleSend(w *udWorker, from transport.Addr, seg *ddp.Segment) {
+	if !seg.Last || seg.MO != 0 {
+		qp.placeUntagged(w, from, seg)
 		return
 	}
-	if seg.MO != 0 || !seg.Last {
-		qp.stats.reassembled.Inc()
+	if int(seg.MsgLen) != len(seg.Payload) {
+		return // inconsistent header; drop
 	}
 	wr, ok := qp.rq.pop()
 	if !ok && qp.cfg.BlockOnRNR {
-		// RD service: behave like an RNR NAK loop, waiting for the
-		// application to post a receive, bounded by the sweep timeout.
-		deadline := time.Now().Add(qp.reasmTimeout())
-		for !ok && time.Now().Before(deadline) && !qp.closed.Load() {
-			time.Sleep(200 * time.Microsecond)
-			wr, ok = qp.rq.pop()
-		}
+		wr, ok = qp.waitRecv()
 	}
 	if !ok {
-		// No posted receive: the message is dropped, like a UD QP with an
-		// empty receive queue on a real RNIC.
-		qp.stats.recvDropped.Inc()
-		telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(from), len(msg), telemetry.DropNoRecv)
+		qp.dropNoRecv(from, len(seg.Payload))
 		return
 	}
-	if len(msg) > len(wr.Buf) {
-		qp.recvCQ.post(CQE{
-			WRID: wr.ID, Type: WTRecv, Status: StatusLocalLength,
-			Err: fmt.Errorf("iwarp: message %d bytes exceeds receive buffer %d", len(msg), len(wr.Buf)),
-			Src: from, ByteLen: len(msg),
-		})
+	if len(seg.Payload) > len(wr.Buf) {
+		qp.completeLengthError(wr, from, len(seg.Payload))
 		return
 	}
-	copy(wr.Buf, msg)
+	copy(wr.Buf, seg.Payload)
 	qp.stats.msgsRecv.Inc()
-	qp.stats.bytesRecv.Add(int64(len(msg)))
-	telemetry.DefaultTrace.Record(telemetry.EvRecv, telemetry.PeerToken(from), len(msg), seg.MSN)
-	qp.recvCQ.post(CQE{WRID: wr.ID, Type: WTRecv, ByteLen: len(msg), Src: from})
+	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
+	telemetry.DefaultTrace.Record(telemetry.EvRecv, telemetry.PeerToken(from), len(seg.Payload), seg.MSN)
+	qp.recvCQ.post(CQE{WRID: wr.ID, Type: WTRecv, ByteLen: len(seg.Payload), Src: from})
+}
+
+// placeUntagged handles one segment of a multi-segment untagged message by
+// direct placement: the first segment to arrive (in any order) claims the
+// posted receive at the queue head, and every segment copies straight into
+// it at its message offset. A validity map tracks arrival; the completion
+// fires when the byte count closes. Outlined from handleSend: it takes the
+// claim lock the sweeper shares.
+func (qp *UDQP) placeUntagged(w *udWorker, from transport.Addr, seg *ddp.Segment) {
+	end := uint64(seg.MO) + uint64(len(seg.Payload))
+	if end > uint64(seg.MsgLen) {
+		return // segment overflows its declared message; drop
+	}
+	key := claimKey{from: from, qn: seg.QN, msn: seg.MSN}
+	w.claimMu.Lock()
+	cl, ok := w.claims[key]
+	if !ok {
+		// First segment of the message: claim a posted receive. The pop (and
+		// the RNR wait, which can block for the reassembly timeout) runs
+		// outside the claim lock so the sweeper and other peers' claims are
+		// not stalled behind it. Only this worker creates claims for this
+		// peer, so the key cannot appear concurrently.
+		w.claimMu.Unlock()
+		wr, got := qp.rq.pop()
+		if !got && qp.cfg.BlockOnRNR {
+			wr, got = qp.waitRecv()
+		}
+		if got && int(seg.MsgLen) > len(wr.Buf) {
+			qp.completeLengthError(wr, from, int(seg.MsgLen))
+			got = false // tombstone: error already reported, absorb the rest
+		} else if !got {
+			qp.dropNoRecv(from, int(seg.MsgLen))
+		}
+		cl = &udClaim{wr: wr, hasWR: got, msgLen: seg.MsgLen, born: time.Now()}
+		w.claimMu.Lock()
+		w.claims[key] = cl
+	}
+	if seg.MsgLen != cl.msgLen {
+		w.claimMu.Unlock()
+		return // conflicting header for this MSN; drop the segment
+	}
+	if cl.hasWR {
+		copy(cl.wr.Buf[seg.MO:end], seg.Payload)
+	}
+	cl.arrived.Add(uint64(seg.MO), uint64(len(seg.Payload)))
+	if !cl.arrived.Complete(uint64(cl.msgLen)) {
+		w.claimMu.Unlock()
+		return
+	}
+	delete(w.claims, key)
+	w.claimMu.Unlock()
+	if !cl.hasWR {
+		return // tombstone completed: the drop was counted at claim time
+	}
+	qp.stats.reassembled.Inc()
+	qp.stats.msgsRecv.Inc()
+	qp.stats.bytesRecv.Add(int64(cl.msgLen))
+	telemetry.DefaultTrace.Record(telemetry.EvRecv, telemetry.PeerToken(from), int(cl.msgLen), seg.MSN)
+	qp.recvCQ.post(CQE{WRID: cl.wr.ID, Type: WTRecv, ByteLen: int(cl.msgLen), Src: from})
+}
+
+// waitRecv blocks until a receive is posted, the QP closes, or the
+// reassembly timeout bounds the stall — the RNR NAK-and-retry loop of an
+// RD service, driven by PostRecv's notification instead of a spin-sleep.
+// Outlined from handleSend: it is the cold contended path, and it parks on
+// channels the hot path never touches.
+func (qp *UDQP) waitRecv() (RecvWR, bool) {
+	timer := time.NewTimer(qp.reasmTimeout())
+	defer timer.Stop()
+	for {
+		if wr, ok := qp.rq.pop(); ok {
+			return wr, true
+		}
+		select {
+		case <-qp.rq.avail:
+		case <-timer.C:
+			return RecvWR{}, false
+		case <-qp.done:
+			return RecvWR{}, false
+		}
+	}
+}
+
+// dropNoRecv records a message dropped for want of a posted receive, like a
+// UD QP with an empty receive queue on a real RNIC. Cold path, outlined.
+func (qp *UDQP) dropNoRecv(from transport.Addr, n int) {
+	qp.stats.recvDropped.Inc()
+	telemetry.DefaultTrace.Record(telemetry.EvDrop, telemetry.PeerToken(from), n, telemetry.DropNoRecv)
+}
+
+// completeLengthError completes a receive whose buffer was too small for
+// the message. Cold path, outlined to keep handleSend fmt-free.
+func (qp *UDQP) completeLengthError(wr RecvWR, from transport.Addr, n int) {
+	qp.recvCQ.post(CQE{
+		WRID: wr.ID, Type: WTRecv, Status: StatusLocalLength,
+		Err: fmt.Errorf("iwarp: message %d bytes exceeds receive buffer %d", n, len(wr.Buf)),
+		Src: from, ByteLen: n,
+	})
 }
 
 func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
@@ -388,15 +624,56 @@ func (qp *UDQP) sweepLoop() {
 		case <-qp.done:
 			return
 		case now := <-ticker.C:
-			qp.reasmMu.Lock()
-			qp.stats.swept.Add(int64(qp.reasm.Sweep()))
-			qp.reasmBytes.Store(qp.reasm.MemFootprint())
-			qp.reasmMu.Unlock()
-			qp.sweepRecords(now)
+			qp.sweepClaims(now)
+			// Reads before records: a timed-out read reports the validity
+			// of whatever partially arrived, and its tracker lives in the
+			// records map. The tracker is never older than its read, so
+			// when both expire on the same tick, sweeping records first
+			// would destroy the partial validity the read must report.
 			qp.sweepReads(now)
+			qp.sweepRecords(now)
 		}
 	}
 }
+
+// sweepClaims abandons claims of partial messages whose remaining segments
+// never arrived. The claimed receive goes back to the head of the queue's
+// behaviour space by reposting it — the message is lost, the buffer is not;
+// if the queue refilled meanwhile, the receive completes StatusTimedOut
+// instead, so no posted buffer is ever silently leaked. Tombstones (claims
+// that never got a receive) just expire. Also refreshes the Footprint
+// snapshot: claims hold no payload staging, only fixed tracking state.
+func (qp *UDQP) sweepClaims(now time.Time) {
+	cutoff := now.Add(-qp.reasmTimeout())
+	var live int64
+	for _, w := range qp.workers {
+		w.claimMu.Lock()
+		for k, cl := range w.claims {
+			if !cl.born.Before(cutoff) {
+				live++
+				continue
+			}
+			delete(w.claims, k)
+			qp.stats.swept.Inc()
+			if !cl.hasWR {
+				continue
+			}
+			if err := qp.rq.post(cl.wr); err != nil {
+				qp.recvCQ.post(CQE{
+					WRID: cl.wr.ID, Type: WTRecv, Status: StatusTimedOut,
+					Err: fmt.Errorf("iwarp: partial message abandoned after %v", qp.reasmTimeout()),
+					Src: k.from,
+				})
+			}
+		}
+		w.claimMu.Unlock()
+	}
+	qp.reasmBytes.Store(live * udClaimOverhead)
+}
+
+// udClaimOverhead approximates the tracking state of one claim (key, claim
+// struct, validity ranges) for Footprint accounting.
+const udClaimOverhead = 160
 
 // sweepRecords abandons Write-Record trackers whose Last segment never
 // arrived — the paper's observation that "loss of this final packet results
@@ -425,11 +702,17 @@ func (qp *UDQP) flushRecvs() {
 // Stats returns a snapshot of the QP's datapath counters.
 func (qp *UDQP) Stats() Stats {
 	batches, segments, poolHits, poolMisses := qp.ch.SendStats()
+	rb, rs, rec, rpHits, rpMisses := qp.ch.RecvStats()
 	return Stats{
 		BatchesSent:    batches,
 		SegmentsSent:   segments,
 		PoolHits:       poolHits,
 		PoolMisses:     poolMisses,
+		BatchesRecv:    rb,
+		SegmentsRecv:   rs,
+		Recycled:       rec,
+		RecvPoolHits:   rpHits,
+		RecvPoolMisses: rpMisses,
 		MsgsSent:       qp.stats.msgsSent.Load(),
 		MsgsReceived:   qp.stats.msgsRecv.Load(),
 		BytesSent:      qp.stats.bytesSent.Load(),

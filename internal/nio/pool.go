@@ -45,6 +45,15 @@ func (pl *Pool) BufSize() int { return pl.size }
 
 // Get returns an empty buffer with the pool's capacity.
 func (pl *Pool) Get() []byte {
+	b, _ := pl.TryGet()
+	return b
+}
+
+// TryGet is Get, additionally reporting whether the buffer was served from
+// the free list (hit) or had to be allocated (miss). Datapaths that export
+// their own hit/miss telemetry use it to count without re-deriving deltas
+// from Stats.
+func (pl *Pool) TryGet() ([]byte, bool) {
 	pl.gets.Add(1)
 	pl.mu.Lock()
 	if n := len(pl.free); n > 0 {
@@ -52,11 +61,11 @@ func (pl *Pool) Get() []byte {
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
 		pl.mu.Unlock()
-		return b[:0]
+		return b[:0], true
 	}
 	pl.mu.Unlock()
 	pl.misses.Add(1)
-	return make([]byte, 0, pl.size)
+	return make([]byte, 0, pl.size), false
 }
 
 // Put recycles a buffer previously returned by Get. Buffers of foreign

@@ -1,0 +1,173 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestRecvBatchBurst: queued datagrams drain in bursts — one call returns
+// up to cap packets without a second wakeup, the next call takes the rest.
+func TestRecvBatchBurst(t *testing.T) {
+	n := New(Config{})
+	a, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.OpenDatagram("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := a.SendTo([]byte(fmt.Sprintf("pkt-%d", i)), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var br transport.BatchRecver = b // the endpoint must satisfy the seam
+	pkts := make([][]byte, 8)
+	froms := make([]transport.Addr, 8)
+	got, err := br.RecvBatch(pkts, froms, time.Second)
+	if err != nil || got != 8 {
+		t.Fatalf("first burst: n=%d err=%v, want 8", got, err)
+	}
+	for i := 0; i < got; i++ {
+		if string(pkts[i]) != fmt.Sprintf("pkt-%d", i) {
+			t.Fatalf("packet %d = %q — order or content wrong", i, pkts[i])
+		}
+		if froms[i] != a.LocalAddr() {
+			t.Fatalf("from = %v", froms[i])
+		}
+		b.Recycle(pkts[i])
+	}
+	rest, err := br.RecvBatch(pkts, froms, time.Second)
+	if err != nil || rest != count-8 {
+		t.Fatalf("second burst: n=%d err=%v, want %d", rest, err, count-8)
+	}
+	for i := 0; i < rest; i++ {
+		b.Recycle(pkts[i])
+	}
+}
+
+// TestRecvBatchDoesNotWaitForFull: a partial queue returns immediately —
+// the batch fills from what is there, it never stalls waiting for more.
+func TestRecvBatchDoesNotWaitForFull(t *testing.T) {
+	n := New(Config{})
+	a, _ := n.OpenDatagram("a", 0)
+	b, _ := n.OpenDatagram("b", 0)
+	for i := 0; i < 3; i++ {
+		if err := a.SendTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkts := make([][]byte, 16)
+	froms := make([]transport.Addr, 16)
+	start := time.Now()
+	got, err := b.RecvBatch(pkts, froms, 5*time.Second)
+	if err != nil || got != 3 {
+		t.Fatalf("n=%d err=%v, want 3", got, err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("partial burst took %v — waited for a full batch?", el)
+	}
+}
+
+// TestRecvBatchTimeout: an empty queue blocks for the first datagram and
+// honours the timeout.
+func TestRecvBatchTimeout(t *testing.T) {
+	n := New(Config{})
+	b, _ := n.OpenDatagram("b", 0)
+	pkts := make([][]byte, 4)
+	froms := make([]transport.Addr, 4)
+	start := time.Now()
+	if _, err := b.RecvBatch(pkts, froms, 50*time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("timed out after only %v", el)
+	}
+}
+
+// TestRecvBatchCloseUnblocks: closing the endpoint releases a blocked
+// batch receive with ErrClosed.
+func TestRecvBatchCloseUnblocks(t *testing.T) {
+	n := New(Config{})
+	b, _ := n.OpenDatagram("b", 0)
+	errc := make(chan error, 1)
+	go func() {
+		pkts := make([][]byte, 4)
+		froms := make([]transport.Addr, 4)
+		_, err := b.RecvBatch(pkts, froms, 10*time.Second)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvBatch still blocked after Close")
+	}
+}
+
+// TestRecvBatchInterleavesPeers: a burst carries datagrams from several
+// sources, each with its correct source address.
+func TestRecvBatchInterleavesPeers(t *testing.T) {
+	n := New(Config{})
+	b, _ := n.OpenDatagram("b", 0)
+	var srcs []transport.Addr
+	for i := 0; i < 4; i++ {
+		ep, err := n.OpenDatagram(fmt.Sprintf("src%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, ep.LocalAddr())
+		if err := ep.SendTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkts := make([][]byte, 8)
+	froms := make([]transport.Addr, 8)
+	got, err := b.RecvBatch(pkts, froms, time.Second)
+	if err != nil || got != 4 {
+		t.Fatalf("n=%d err=%v", got, err)
+	}
+	for i := 0; i < got; i++ {
+		if froms[i] != srcs[pkts[i][0]] {
+			t.Fatalf("packet from %v, payload says %v", froms[i], srcs[pkts[i][0]])
+		}
+	}
+}
+
+// TestRecvPoolStats: the endpoint reports its packet-buffer pool traffic,
+// and recycling keeps the steady state on pool hits.
+func TestRecvPoolStats(t *testing.T) {
+	n := New(Config{})
+	a, _ := n.OpenDatagram("a", 0)
+	b, _ := n.OpenDatagram("b", 0)
+	var ps transport.RecvPoolStats = b
+	h0, m0 := ps.RecvPoolStats()
+	const count = 32
+	for i := 0; i < count; i++ {
+		if err := a.SendTo([]byte("x"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		pkt, _, err := b.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Recycle(pkt)
+	}
+	h1, m1 := ps.RecvPoolStats()
+	if (h1-h0)+(m1-m0) < count {
+		t.Fatalf("pool stats delta %d+%d don't cover %d packets", h1-h0, m1-m0, count)
+	}
+	if h1 == h0 {
+		t.Fatal("no pool hits despite recycling every buffer")
+	}
+}

@@ -1,6 +1,9 @@
 package simnet
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Packet-buffer pools: a real stack services its datapath from fixed
 // receive rings rather than allocating per packet, and at small message
@@ -12,20 +15,36 @@ const (
 	largePktBuf = 64<<10 + 512
 )
 
-var smallPool = sync.Pool{New: func() any { b := make([]byte, smallPktBuf); return &b }}
-var largePool = sync.Pool{New: func() any { b := make([]byte, largePktBuf); return &b }}
+// Pool hit/miss accounting, mirroring nio.Pool.Stats: gets counts every
+// getPktBuf, misses the ones that had to allocate (sync.Pool New or an
+// oversized request). DatagramEndpoint re-exports these through
+// transport.RecvPoolStats so the layer above can surface them as telemetry.
+var pktBufGets, pktBufMisses atomic.Int64
+
+var smallPool = sync.Pool{New: func() any {
+	pktBufMisses.Add(1)
+	b := make([]byte, smallPktBuf)
+	return &b
+}}
+var largePool = sync.Pool{New: func() any {
+	pktBufMisses.Add(1)
+	b := make([]byte, largePktBuf)
+	return &b
+}}
 
 // getPktBuf returns a buffer of length n backed by a pooled array when n
 // fits a size class.
 //
 //diwarp:acquire
 func getPktBuf(n int) []byte {
+	pktBufGets.Add(1)
 	switch {
 	case n <= smallPktBuf:
 		return (*smallPool.Get().(*[]byte))[:n]
 	case n <= largePktBuf:
 		return (*largePool.Get().(*[]byte))[:n]
 	default:
+		pktBufMisses.Add(1)
 		return make([]byte, n)
 	}
 }
@@ -41,4 +60,10 @@ func putPktBuf(p []byte) {
 		p = p[:largePktBuf]
 		largePool.Put(&p)
 	}
+}
+
+// pktBufStats reports the packet pools' cumulative hit/miss counters.
+func pktBufStats() (hits, misses int64) {
+	m := pktBufMisses.Load()
+	return pktBufGets.Load() - m, m
 }

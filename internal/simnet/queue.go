@@ -147,6 +147,57 @@ func (q *queue) putBatch(pkts []packet) (int, error) {
 	return i, nil
 }
 
+// getBatch pops up to max packets into dst under one lock acquisition — the
+// receive-side mirror of putBatch. It blocks for the FIRST packet exactly
+// like get (zero timeout blocks until data or close), then takes whatever
+// else is already queued without waiting. Returns the number popped; n ≥ 1
+// on nil error.
+func (q *queue) getBatch(dst []packet, timeout time.Duration) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	var timer *time.Timer
+	var tch <-chan time.Time
+	for {
+		q.mu.Lock()
+		if k := len(q.q); k > 0 {
+			n := min(k, len(dst))
+			copy(dst, q.q[:n])
+			for i := range q.q[:n] {
+				q.q[i] = packet{}
+			}
+			q.q = q.q[n:]
+			if len(q.q) == 0 {
+				q.q = nil
+			} else {
+				// More data remains and other readers may be parked on the
+				// cap-1 avail pulse this wakeup consumed; re-pulse so a
+				// concurrent reader is not stranded (lost-wakeup cascade).
+				pulse(q.avail)
+			}
+			q.mu.Unlock()
+			pulse(q.space)
+			return n, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return 0, transport.ErrClosed
+		}
+		q.mu.Unlock()
+		if timeout > 0 && timer == nil {
+			timer = time.NewTimer(timeout)
+			defer timer.Stop()
+			tch = timer.C
+		}
+		select {
+		case <-q.avail:
+		case <-tch:
+			return 0, transport.ErrTimeout
+		case <-q.done:
+		}
+	}
+}
+
 // putDrop appends pkt without blocking, dropping it when the queue is full
 // (ack traffic: losing one is harmless, the next ack is cumulative).
 func (q *queue) putDrop(pkt packet) {

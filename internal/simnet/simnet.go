@@ -257,8 +257,11 @@ type DatagramEndpoint struct {
 }
 
 var (
-	_ transport.Datagram    = (*DatagramEndpoint)(nil)
-	_ transport.BatchSender = (*DatagramEndpoint)(nil)
+	_ transport.Datagram      = (*DatagramEndpoint)(nil)
+	_ transport.BatchSender   = (*DatagramEndpoint)(nil)
+	_ transport.BatchRecver   = (*DatagramEndpoint)(nil)
+	_ transport.Recycler      = (*DatagramEndpoint)(nil)
+	_ transport.RecvPoolStats = (*DatagramEndpoint)(nil)
 )
 
 // SendTo implements transport.Datagram. The payload is copied, fragmented
@@ -424,6 +427,41 @@ func (e *DatagramEndpoint) Recv(timeout time.Duration) ([]byte, transport.Addr, 
 	}
 	return pkt.payload, pkt.from, nil
 }
+
+// maxRecvBurst bounds one RecvBatch pop; BatchRecver's contract is "up to
+// min(len(pkts), len(froms))", so capping the burst only splits oversized
+// requests across calls.
+const maxRecvBurst = 64
+
+// pktScratchPool recycles the []packet staging slices RecvBatch pops into,
+// keeping the batch receive path allocation-free.
+var pktScratchPool = sync.Pool{New: func() any {
+	s := make([]packet, maxRecvBurst)
+	return &s
+}}
+
+// RecvBatch implements transport.BatchRecver: one queue lock round-trip pops
+// the whole burst — the simulated analogue of recvmmsg, and the receive-side
+// mirror of SendBatch's single-lock putBatch.
+func (e *DatagramEndpoint) RecvBatch(pkts [][]byte, froms []transport.Addr, timeout time.Duration) (int, error) {
+	max := min(len(pkts), len(froms), maxRecvBurst)
+	if max == 0 {
+		return 0, nil
+	}
+	sp := pktScratchPool.Get().(*[]packet)
+	scratch := (*sp)[:max]
+	n, err := e.q.getBatch(scratch, timeout)
+	for i := 0; i < n; i++ {
+		pkts[i], froms[i] = scratch[i].payload, scratch[i].from
+		scratch[i] = packet{} // drop the payload reference: caller owns it now
+	}
+	pktScratchPool.Put(sp)
+	return n, err
+}
+
+// RecvPoolStats implements transport.RecvPoolStats, reporting the simulator's
+// shared packet-pool hit/miss counters.
+func (e *DatagramEndpoint) RecvPoolStats() (hits, misses int64) { return pktBufStats() }
 
 // LocalAddr implements transport.Datagram.
 func (e *DatagramEndpoint) LocalAddr() transport.Addr { return e.addr }

@@ -260,7 +260,9 @@ type DatagramTap struct {
 
 var _ transport.Datagram = (*DatagramTap)(nil)
 var _ transport.BatchSender = (*DatagramTap)(nil)
+var _ transport.BatchRecver = (*DatagramTap)(nil)
 var _ transport.Recycler = (*DatagramTap)(nil)
+var _ transport.RecvPoolStats = (*DatagramTap)(nil)
 
 // TapDatagram interposes a pcap tap over inner, writing to pw.
 func TapDatagram(inner transport.Datagram, pw *PcapWriter) *DatagramTap {
@@ -318,11 +320,47 @@ func (t *DatagramTap) Recv(timeout time.Duration) ([]byte, transport.Addr, error
 	return p, from, err
 }
 
+// RecvBatch implements transport.BatchRecver, delegating to the inner
+// endpoint's batched path when it has one and degrading to one Recv
+// otherwise, so a tapped LLP keeps the batched receive seam. Every datagram
+// in the burst is captured and counted.
+func (t *DatagramTap) RecvBatch(pkts [][]byte, froms []transport.Addr, timeout time.Duration) (int, error) {
+	var n int
+	var err error
+	if br, ok := t.inner.(transport.BatchRecver); ok {
+		n, err = br.RecvBatch(pkts, froms, timeout)
+	} else {
+		if len(pkts) == 0 || len(froms) == 0 {
+			return 0, nil
+		}
+		pkts[0], froms[0], err = t.inner.Recv(timeout)
+		if err == nil {
+			n = 1
+		}
+	}
+	local := t.inner.LocalAddr()
+	for i := 0; i < n; i++ {
+		t.pw.writeFrame(froms[i], local, 17, 0, 0, 0, pkts[i])
+		t.recvdBytes.Add(int64(len(pkts[i])))
+	}
+	t.recvd.Add(int64(n))
+	return n, err
+}
+
 // Recycle implements transport.Recycler when the inner endpoint does.
 func (t *DatagramTap) Recycle(p []byte) {
 	if r, ok := t.inner.(transport.Recycler); ok {
 		r.Recycle(p)
 	}
+}
+
+// RecvPoolStats implements transport.RecvPoolStats when the inner endpoint
+// does; otherwise it reports zeroes (no pool below, nothing to observe).
+func (t *DatagramTap) RecvPoolStats() (hits, misses int64) {
+	if ps, ok := t.inner.(transport.RecvPoolStats); ok {
+		return ps.RecvPoolStats()
+	}
+	return 0, 0
 }
 
 // LocalAddr implements transport.Datagram.

@@ -97,6 +97,31 @@ type BatchSender interface {
 	SendBatch(pkts [][]byte, to Addr) (int, error)
 }
 
+// BatchRecver is an optional interface a Datagram implementation may
+// provide: RecvBatch fills pkts and froms with up to min(len(pkts),
+// len(froms)) datagrams, amortizing per-receive costs (queue locking,
+// deadline arming, eventually recvmmsg) across the burst — the receive-side
+// mirror of BatchSender. It blocks up to timeout for the FIRST datagram
+// (zero blocks until data or close, like Recv) and then drains whatever
+// else is immediately available without waiting. It returns the number of
+// datagrams received; n ≥ 1 on nil error. Buffer ownership matches Recv:
+// each pkts[i] is owned by the caller, which may hand it back through
+// Recycler once consumed.
+//
+// The DDP datagram channel probes for this interface once per channel and
+// falls back to per-packet Recv when it is absent.
+type BatchRecver interface {
+	RecvBatch(pkts [][]byte, froms []Addr, timeout time.Duration) (int, error)
+}
+
+// RecvPoolStats is an optional interface a Datagram implementation may
+// provide, reporting its receive-buffer pool's cumulative hit/miss
+// counters. The layer above re-exports them as telemetry so pool health is
+// observable without coupling this package to the telemetry registry.
+type RecvPoolStats interface {
+	RecvPoolStats() (hits, misses int64)
+}
+
 // Recycler is an optional interface a Datagram implementation may provide:
 // a receiver that has fully consumed a buffer returned by Recv can hand it
 // back for reuse, bounding the datapath's allocation rate the way a real

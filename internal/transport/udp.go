@@ -4,17 +4,50 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"os"
+	"sync"
 	"time"
+
+	"repro/internal/nio"
 )
 
 // UDPEndpoint adapts a kernel UDP socket to the Datagram interface. It is
 // the deployment LLP: cmd/iwarpd speaks datagram-iWARP over it across real
 // networks, and the benchmarks can run over loopback with -transport=udp.
+//
+// The receive path is pooled: buffers come from a per-endpoint nio.Pool
+// rather than a fresh 64 KB allocation per packet, and consumers hand them
+// back through Recycle — the software analogue of a receive ring. Source
+// addresses resolve through a small cache so the per-packet path performs
+// zero allocations in steady state (ReadFromUDP's *net.UDPAddr and
+// IP.String() would otherwise allocate twice per packet).
 type UDPEndpoint struct {
 	conn *net.UDPConn
 	mtu  int
+	pool *nio.Pool
+
+	addrMu    sync.RWMutex
+	addrCache map[netip.AddrPort]Addr
 }
+
+var (
+	_ Datagram      = (*UDPEndpoint)(nil)
+	_ BatchSender   = (*UDPEndpoint)(nil)
+	_ BatchRecver   = (*UDPEndpoint)(nil)
+	_ Recycler      = (*UDPEndpoint)(nil)
+	_ RecvPoolStats = (*UDPEndpoint)(nil)
+)
+
+// maxAddrCache bounds the source-address cache; at the bound the cache is
+// reset wholesale (one burst of re-resolution) rather than tracking LRU
+// state on the per-packet path.
+const maxAddrCache = 4096
+
+// aLongTimeAgo is an expired deadline: setting it makes the next read
+// non-blocking, which is how RecvBatch drains a burst after its first
+// (blocking) read.
+var aLongTimeAgo = time.Unix(1, 0)
 
 // ListenUDP binds a UDP endpoint on host:port (port 0 picks a free port).
 func ListenUDP(host string, port uint16) (*UDPEndpoint, error) {
@@ -34,7 +67,12 @@ func ListenUDP(host string, port uint16) (*UDPEndpoint, error) {
 	// stack relies on the kernel's UDP buffering below it.
 	_ = conn.SetReadBuffer(8 << 20)  //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
 	_ = conn.SetWriteBuffer(8 << 20) //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
-	return &UDPEndpoint{conn: conn, mtu: DefaultMTU}, nil
+	return &UDPEndpoint{
+		conn:      conn,
+		mtu:       DefaultMTU,
+		pool:      nio.NewPool(MaxDatagramSize),
+		addrCache: make(map[netip.AddrPort]Addr),
+	}, nil
 }
 
 // resolve maps a transport.Addr to a UDP socket address.
@@ -100,31 +138,113 @@ func (e *UDPEndpoint) writeBatch(pkts [][]byte, ua *net.UDPAddr) (int, error) {
 	return len(pkts), nil
 }
 
-// Recv implements Datagram.
+// mapRecvErr folds the net package's deadline and close errors into the
+// transport vocabulary.
+func mapRecvErr(err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return ErrTimeout
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// readPooled performs one socket read into a pooled buffer and resolves the
+// source through the address cache. The buffer is returned to the pool on
+// error. This is the per-packet unit both Recv and RecvBatch are built on.
+//
+//diwarp:hotpath
+func (e *UDPEndpoint) readPooled() ([]byte, Addr, error) {
+	buf, _ := e.pool.TryGet()
+	buf = buf[:e.pool.BufSize()]
+	n, ap, err := e.conn.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		e.pool.Put(buf)
+		return nil, Addr{}, mapRecvErr(err)
+	}
+	return buf[:n], e.cachedAddr(ap), nil
+}
+
+// cachedAddr maps a socket address to a transport.Addr, memoizing the
+// string form so steady-state receives never re-render an IP.
+func (e *UDPEndpoint) cachedAddr(ap netip.AddrPort) Addr {
+	// The kernel reports IPv4 peers on a dual-stack socket as 4-in-6
+	// (::ffff:a.b.c.d); unmap so the cached Node matches what resolve()
+	// parses on the send side.
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	e.addrMu.RLock()
+	a, ok := e.addrCache[ap]
+	e.addrMu.RUnlock()
+	if ok {
+		return a
+	}
+	a = Addr{Node: ap.Addr().String(), Port: ap.Port()}
+	e.addrMu.Lock()
+	if len(e.addrCache) >= maxAddrCache {
+		e.addrCache = make(map[netip.AddrPort]Addr)
+	}
+	e.addrCache[ap] = a
+	e.addrMu.Unlock()
+	return a
+}
+
+// Recv implements Datagram. The returned buffer is pool-backed: the caller
+// owns it and may hand it back through Recycle once consumed.
 func (e *UDPEndpoint) Recv(timeout time.Duration) ([]byte, Addr, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
 	if err := e.conn.SetReadDeadline(deadline); err != nil {
-		if errors.Is(err, net.ErrClosed) {
-			return nil, Addr{}, ErrClosed
-		}
-		return nil, Addr{}, err
+		return nil, Addr{}, mapRecvErr(err)
 	}
-	buf := make([]byte, MaxDatagramSize)
-	n, from, err := e.conn.ReadFromUDP(buf)
-	if err != nil {
-		if errors.Is(err, os.ErrDeadlineExceeded) {
-			return nil, Addr{}, ErrTimeout
-		}
-		if errors.Is(err, net.ErrClosed) {
-			return nil, Addr{}, ErrClosed
-		}
-		return nil, Addr{}, err
-	}
-	return buf[:n], Addr{Node: from.IP.String(), Port: uint16(from.Port)}, nil
+	return e.readPooled()
 }
+
+// RecvBatch implements BatchRecver: one blocking read under the caller's
+// timeout, then a non-blocking drain of whatever the socket already holds,
+// up to the burst size. This is the recvmmsg seam — replace the drain loop
+// with one vectored syscall and nothing above it changes; today it costs
+// one syscall per queued packet plus one returning EWOULDBLOCK, against
+// one wakeup and one deadline-arm for the whole burst.
+func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Duration) (int, error) {
+	max := min(len(pkts), len(froms))
+	if max == 0 {
+		return 0, nil
+	}
+	p, from, err := e.Recv(timeout)
+	if err != nil {
+		return 0, err
+	}
+	pkts[0], froms[0] = p, from
+	n := 1
+	if n == max {
+		return n, nil
+	}
+	// Drain without blocking: an expired deadline turns further reads into
+	// EWOULDBLOCK probes of the socket buffer.
+	if err := e.conn.SetReadDeadline(aLongTimeAgo); err != nil {
+		return n, nil //diwarp:ignore errflow — the burst's first packet is already delivered; the deadline error will resurface on the next blocking read
+	}
+	for n < max {
+		p, from, err := e.readPooled()
+		if err != nil {
+			break // ErrTimeout: socket drained; ErrClosed: next call reports it
+		}
+		pkts[n], froms[n] = p, from
+		n++
+	}
+	return n, nil
+}
+
+// Recycle implements Recycler: fully-consumed receive buffers return to the
+// endpoint's pool. Foreign buffers are dropped by the pool's capacity check.
+func (e *UDPEndpoint) Recycle(p []byte) { e.pool.Put(p) }
+
+// RecvPoolStats implements RecvPoolStats: the receive pool's cumulative
+// hit/miss counters.
+func (e *UDPEndpoint) RecvPoolStats() (hits, misses int64) { return e.pool.Stats() }
 
 // LocalAddr implements Datagram.
 func (e *UDPEndpoint) LocalAddr() Addr {
