@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke check clean
+.PHONY: all build test race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke check clean
 
 all: build
 
@@ -52,8 +52,15 @@ bench-smoke:
 telemetry-smoke:
 	$(GO) run ./cmd/iwarpd -sim -loss 0.01 -duration 2s -metrics 127.0.0.1:0 -smoke-scrape
 
+# Fault-injection suite (DESIGN.md §4.8): the faultnet determinism tests
+# plus every chaos schedule with its committed seed. A failure prints the
+# seed and fault-log tail; replay with
+#   go test ./internal/faultnet/chaos -run Chaos -faultnet.seed=N
+chaos-smoke:
+	$(GO) test -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/
+
 # What CI should run.
-check: build vet test race lint telemetry-smoke
+check: build vet test race lint telemetry-smoke chaos-smoke
 
 clean:
 	rm -rf bin

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/faultnet/chaos"
+)
+
+// runChaos is the -chaos soak mode: it sweeps the standard fault-schedule
+// suite (RD and UD) over fresh seeds round after round until the duration
+// elapses, printing one verdict line per schedule. Any invariant violation
+// aborts the soak with the seed and fault-log tail needed to replay it via
+// `go test ./internal/faultnet/chaos -run Chaos -faultnet.seed=N`.
+func runChaos(seed int64, dur time.Duration) error {
+	if seed == 0 {
+		seed = time.Now().UnixNano() & 0x7FFFFFFF
+	}
+	log.Printf("chaos soak: base seed %d, duration %v", seed, dur)
+	deadline := time.Now().Add(dur)
+	rounds, schedules := 0, 0
+	for round := int64(0); ; round++ {
+		rds, uds := chaos.Suite(seed + round*10_000)
+		for _, s := range rds {
+			v := chaos.RunRD(s)
+			fmt.Print(v.Report())
+			if !v.Passed() {
+				return fmt.Errorf("chaos: schedule %q seed %d violated %d invariant(s)", v.Name, v.Seed, len(v.Failures))
+			}
+			schedules++
+		}
+		for _, s := range uds {
+			v := chaos.RunUD(s)
+			fmt.Print(v.Report())
+			if !v.Passed() {
+				return fmt.Errorf("chaos: schedule %q seed %d violated %d invariant(s)", v.Name, v.Seed, len(v.Failures))
+			}
+			schedules++
+		}
+		rounds++
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	log.Printf("chaos soak passed: %d rounds, %d schedules, all invariants held", rounds, schedules)
+	return nil
+}

@@ -48,9 +48,18 @@ func main() {
 		dur     = flag.Duration("duration", 2*time.Second, "soak traffic duration (with -sim)")
 		msgSize = flag.Int("msgsize", 2048, "soak message size in bytes (with -sim)")
 		smoke   = flag.Bool("smoke-scrape", false, "after the -sim soak, scrape own /metrics and exit non-zero unless datapath counters moved")
+
+		chaosMode = flag.Bool("chaos", false, "soak mode: sweep the fault-injection schedule suite (see internal/faultnet/chaos) until -duration elapses")
+		chaosSeed = flag.Int64("chaos-seed", 0, "base seed for -chaos (0 = derive from clock; failures always print the seed)")
 	)
 	flag.Parse()
 
+	if *chaosMode {
+		if err := runChaos(*chaosSeed, *dur); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *sim {
 		if err := runSim(*loss, *dur, *msgSize, *metrics, *pcap, *smoke); err != nil {
 			log.Fatal(err)

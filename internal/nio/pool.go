@@ -27,9 +27,12 @@ type Pool struct {
 	maxIdle int
 	gets    atomic.Int64
 	misses  atomic.Int64
+	puts    atomic.Int64
 
 	mu   sync.Mutex
 	free [][]byte
+
+	guard poolGuard // double-put detector, active under -tags pooldebug only
 }
 
 // NewPool returns a pool of buffers with capacity size bytes.
@@ -61,11 +64,14 @@ func (pl *Pool) TryGet() ([]byte, bool) {
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
 		pl.mu.Unlock()
+		pl.guard.onGet(b)
 		return b[:0], true
 	}
 	pl.mu.Unlock()
 	pl.misses.Add(1)
-	return make([]byte, 0, pl.size), false
+	b := make([]byte, 0, pl.size)
+	pl.guard.onGet(b)
+	return b, false
 }
 
 // Put recycles a buffer previously returned by Get. Buffers of foreign
@@ -75,6 +81,8 @@ func (pl *Pool) Put(b []byte) {
 	if cap(b) != pl.size {
 		return
 	}
+	pl.guard.onPut(b)
+	pl.puts.Add(1)
 	pl.mu.Lock()
 	if len(pl.free) < pl.maxIdle {
 		pl.free = append(pl.free, b[:0])
@@ -88,4 +96,12 @@ func (pl *Pool) Put(b []byte) {
 func (pl *Pool) Stats() (hits, misses int64) {
 	m := pl.misses.Load()
 	return pl.gets.Load() - m, m
+}
+
+// Outstanding reports how many buffers have been handed out by Get and not
+// yet returned through Put (foreign-capacity Puts are not counted on either
+// side). At quiesce a leak-free datapath reads 0: the invariant the chaos
+// harness asserts after every schedule.
+func (pl *Pool) Outstanding() int64 {
+	return pl.gets.Load() - pl.puts.Load()
 }

@@ -1,0 +1,52 @@
+//go:build pooldebug
+
+package nio
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// poolGuard is the pooldebug-build double-put detector. It tracks every
+// buffer the pool has handed out by its backing-array pointer and panics the
+// moment ownership is violated: a buffer Put twice without an intervening
+// Get, or a buffer Put that this pool never handed out. Both are the exact
+// failure modes a duplicated or corrupt-dropped datagram can provoke in the
+// recycling paths (a double-put silently hands the same storage to two
+// consumers, which then scribble over each other's packets).
+//
+// The guard is behind a build tag because the map insert/delete would cost
+// an allocation-free datapath its 0 allocs/op; chaos and pool tests run with
+// -tags pooldebug (make chaos-smoke) so the invariant is still enforced in
+// CI.
+type poolGuard struct {
+	mu  sync.Mutex
+	out map[unsafe.Pointer]bool // backing array -> currently held by a consumer
+}
+
+func (g *poolGuard) onGet(b []byte) {
+	p := unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+	g.mu.Lock()
+	if g.out == nil {
+		g.out = make(map[unsafe.Pointer]bool)
+	}
+	g.out[p] = true
+	g.mu.Unlock()
+}
+
+func (g *poolGuard) onPut(b []byte) {
+	p := unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+	g.mu.Lock()
+	held, known := g.out[p]
+	if known {
+		g.out[p] = false
+	}
+	g.mu.Unlock()
+	if known && !held {
+		panic(fmt.Sprintf("nio: double Put of pool buffer %p (cap %d)", p, cap(b)))
+	}
+	if !known {
+		panic(fmt.Sprintf("nio: Put of foreign buffer %p (cap %d) never handed out by this pool", p, cap(b)))
+	}
+}

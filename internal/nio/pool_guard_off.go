@@ -1,0 +1,11 @@
+//go:build !pooldebug
+
+package nio
+
+// poolGuard is the release-build stub of the double-put detector: a zero-size
+// field with empty methods the compiler erases, so the guarded datapath costs
+// nothing unless the pooldebug build tag is set.
+type poolGuard struct{}
+
+func (poolGuard) onGet([]byte) {}
+func (poolGuard) onPut([]byte) {}

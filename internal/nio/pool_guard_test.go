@@ -1,0 +1,46 @@
+//go:build pooldebug
+
+package nio
+
+import "testing"
+
+// TestPoolGuardDoublePut pins the pooldebug ownership guard: recycling the
+// same buffer twice must panic instead of silently handing one backing array
+// to two future getters — the corruption mode the chaos harness's
+// duplication and corrupt-drop legs are designed to provoke.
+func TestPoolGuardDoublePut(t *testing.T) {
+	pl := NewPool(64)
+	b := pl.Get()
+	pl.Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic under pooldebug")
+		}
+	}()
+	pl.Put(b)
+}
+
+// TestPoolGuardForeignPut pins the other ownership violation: recycling a
+// matching-capacity buffer the pool never handed out.
+func TestPoolGuardForeignPut(t *testing.T) {
+	pl := NewPool(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign Put did not panic under pooldebug")
+		}
+	}()
+	pl.Put(make([]byte, 0, 64))
+}
+
+// TestPoolGuardLegalCycle proves the guard stays silent through the legal
+// get→put→get→put lifecycle, including a pool-free-list round trip.
+func TestPoolGuardLegalCycle(t *testing.T) {
+	pl := NewPool(64)
+	for i := 0; i < 8; i++ {
+		b := pl.Get()
+		pl.Put(b)
+	}
+	if out := pl.Outstanding(); out != 0 {
+		t.Fatalf("Outstanding = %d after balanced cycles", out)
+	}
+}

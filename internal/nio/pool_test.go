@@ -51,6 +51,26 @@ func TestPoolStats(t *testing.T) {
 	}
 }
 
+// TestPoolOutstanding pins the get/put balance counter the chaos harness's
+// leak checker reads: it must track exactly the buffers held by consumers,
+// and foreign-capacity Puts must not perturb it.
+func TestPoolOutstanding(t *testing.T) {
+	pl := NewPool(32)
+	a, b := pl.Get(), pl.Get()
+	if out := pl.Outstanding(); out != 2 {
+		t.Fatalf("Outstanding = %d with two live buffers, want 2", out)
+	}
+	pl.Put(make([]byte, 0, 99)) // foreign: dropped, not a return
+	if out := pl.Outstanding(); out != 2 {
+		t.Fatalf("Outstanding = %d after foreign Put, want 2", out)
+	}
+	pl.Put(a)
+	pl.Put(b)
+	if out := pl.Outstanding(); out != 0 {
+		t.Fatalf("Outstanding = %d at quiesce, want 0", out)
+	}
+}
+
 func TestPoolIdleBound(t *testing.T) {
 	pl := NewPool(8)
 	bufs := make([][]byte, defaultMaxIdle+10)

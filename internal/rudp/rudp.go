@@ -8,27 +8,47 @@
 //
 // The protocol is deliberately lightweight compared to TCP — the whole point
 // of the paper's RD mode: per-peer sliding windows with selective
-// acknowledgement, fixed-interval retransmission with exponential backoff,
-// exactly-once in-order delivery, and nothing else (no congestion control,
-// no byte-stream semantics, no connection teardown handshake). Message
-// boundaries are preserved, so the DDP layer above needs no MPA markers.
+// acknowledgement, adaptive retransmission (RFC 6298 RTT estimation with
+// Karn-correct sampling and backoff), exactly-once in-order delivery, and
+// nothing else (no congestion control, no byte-stream semantics, no
+// connection teardown handshake). Message boundaries are preserved, so the
+// DDP layer above needs no MPA markers.
 //
 // Wire format (big-endian):
 //
-//	DATA: | type=1 (1) | resv (1) | seq (4) | payload ... |
-//	ACK:  | type=2 (1) | resv (1) | cumAck (4) | sack bitmap (4) |
+//	DATA: | type=1 (1) | epoch (1) | seq (4) | payload ... | crc32c (4) |
+//	ACK:  | type=2 (1) | epoch (1) | cumAck (4) | sack bitmap (4) | crc32c (4) |
 //
 // cumAck acknowledges every DATA with seq ≤ cumAck; sack bit i acknowledges
 // seq cumAck+1+i, letting the sender skip retransmitting packets that
-// arrived out of order.
+// arrived out of order. The CRC32C trailer covers everything before it.
+// It exists because this header is control plane: DDP's own CRC protects
+// the payload end-to-end, but a bit flipped in cumAck would make the sender
+// drop packets the receiver never got (silent loss), and a flipped seq
+// would poison the receiver's reassembly state. Corrupt packets are
+// discarded here and recovered exactly like losses.
+//
+// The epoch byte identifies one incarnation of the sender's conversation
+// state: it is drawn at random when a peer's state is created and stamped
+// on every packet of that conversation. Without it, a crash/restart on
+// either side silently aliases two different conversations onto one
+// sequence space — a restarted receiver SACKs sequence numbers it never
+// delivered (silent loss), and stale out-of-order buffers can be delivered
+// into the wrong conversation. An epoch mismatch with sends outstanding
+// surfaces as ErrPeerDead; a mismatch on a conversation-start DATA adopts
+// the new incarnation in place. A 1-in-256 collision between successive
+// incarnations evades detection; that residual risk is accepted for a
+// one-byte header cost.
 package rudp
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/crcx"
 	"repro/internal/nio"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -38,17 +58,27 @@ const (
 	typeData = 1
 	typeAck  = 2
 
-	headerLen    = 6
-	ackLen       = 10
-	windowSize   = 64
+	headerLen  = 6                      // DATA header before the payload
+	ackBodyLen = 10                     // ACK fields before the trailer
+	ackLen     = ackBodyLen + crcx.Size // full ACK wire size
+	windowSize = 64
+	// acceptWindow bounds how far past the in-order point a DATA seq may be
+	// buffered. The sender never has more than windowSize unacked, so any
+	// farther seq is garbage (or an un-evicted peer's past life); buffering
+	// it would wedge reassembly and leak the out-of-order map.
+	acceptWindow = windowSize
 	maxRetries   = 12
 	initialRTO   = 10 * time.Millisecond
 	maxRTO       = 200 * time.Millisecond
+	maxBackoff   = 6 // cap on Karn doublings; rto is clamped to maxRTO anyway
 	tickInterval = 2 * time.Millisecond
 )
 
 // ErrPeerDead reports that a peer stopped acknowledging after maxRetries
-// retransmissions of some packet.
+// retransmissions of some packet. The failure is per-peer: the first SendTo
+// or Flush that observes it returns this error and evicts the peer's state,
+// so a restarted peer (fresh sequence space) can resume on the same address
+// while traffic to other peers continues unaffected.
 var ErrPeerDead = errors.New("rudp: peer unreachable (retries exhausted)")
 
 // Endpoint is a reliable datagram endpoint. It implements
@@ -58,10 +88,10 @@ var ErrPeerDead = errors.New("rudp: peer unreachable (retries exhausted)")
 type Endpoint struct {
 	inner transport.Datagram
 
-	// pool recycles DATA wire buffers (header + payload). A buffer lives
-	// from SendTo until the packet is acknowledged AND no transmission is
-	// in flight (pending.inFlight tracks sends that have been handed to the
-	// inner transport but not yet returned).
+	// pool recycles DATA wire buffers (header + payload + CRC). A buffer
+	// lives from SendTo until the packet is acknowledged AND no transmission
+	// is in flight (pending.inFlight tracks sends that have been handed to
+	// the inner transport but not yet returned).
 	pool *nio.Pool
 	// ackPool recycles the small ACK wire buffers, which are released as
 	// soon as the inner SendTo returns (the transport does not retain them).
@@ -70,7 +100,6 @@ type Endpoint struct {
 	mu     sync.Mutex
 	peers  map[transport.Addr]*peerState
 	closed bool
-	fatal  error
 
 	// Reliability counters are telemetry-registry handles (DESIGN.md §4.6).
 	// ackSendFail and dataSendFail count inner-transport send failures on
@@ -79,11 +108,15 @@ type Endpoint struct {
 	// already tolerates the loss — a dropped ACK is re-cut from cumulative
 	// state, a dropped retransmission fires again at the next RTO — but a
 	// persistently failing transport must be visible rather than silent.
-	retransmits  *telemetry.Counter   // DATA packets resent after RTO expiry
-	rtoExpired   *telemetry.Counter   // RTO expiry events (includes final, fatal one)
-	ackSendFail  *telemetry.Counter   // ACK sends the inner transport rejected
-	dataSendFail *telemetry.Counter   // retransmission sends the inner transport rejected
-	rtt          *telemetry.Histogram // ack round-trip, µs (Karn: first transmissions only)
+	retransmits   *telemetry.Counter   // DATA packets resent after RTO expiry
+	rtoExpired    *telemetry.Counter   // RTO expiry events (includes final, fatal one)
+	ackSendFail   *telemetry.Counter   // ACK sends the inner transport rejected
+	dataSendFail  *telemetry.Counter   // retransmission sends the inner transport rejected
+	crcFail       *telemetry.Counter   // inbound packets dropped by the header CRC
+	windowDrops   *telemetry.Counter   // DATA beyond the acceptance window, not buffered
+	evictions     *telemetry.Counter   // dead peers evicted on observation
+	epochMismatch *telemetry.Counter   // packets from a different conversation incarnation
+	rtt           *telemetry.Histogram // ack round-trip, µs (Karn: first transmissions only)
 
 	inbox chan message
 	done  chan struct{}
@@ -101,16 +134,65 @@ type peerState struct {
 	nextSeq  uint32
 	unacked  map[uint32]*pending
 	sendWait chan struct{} // pulsed when window space frees
+	dead     error         // set once retries exhaust or the peer restarts; awaits eviction
+
+	// Incarnation tracking: txEpoch stamps every packet this conversation
+	// sends; rxEpoch is the peer's epoch, bound from its first packet.
+	txEpoch byte
+	rxEpoch byte
+	rxBound bool
+
+	// Adaptive RTO (RFC 6298): srtt/rttvar are fed by first-transmission
+	// RTT samples only (Karn), and backoff counts consecutive RTO doublings
+	// since the last acknowledged progress — it MUST reset on progress, or
+	// one loss burst leaves every later retransmission crawling at maxRTO.
+	srtt    time.Duration
+	rttvar  time.Duration
+	backoff int
 
 	// Receive side.
 	expected uint32            // next in-order seq to deliver
 	ooo      map[uint32][]byte // out-of-order arrivals pending delivery
 }
 
+// curRTO returns the peer's current retransmission timeout: the RFC 6298
+// estimate (or initialRTO before the first sample), doubled per Karn
+// backoff step, clamped to [initialRTO, maxRTO].
+func (ps *peerState) curRTO() time.Duration {
+	rto := initialRTO
+	if ps.srtt > 0 {
+		rto = ps.srtt + 4*ps.rttvar
+		if rto < initialRTO {
+			rto = initialRTO
+		}
+	}
+	for i := 0; i < ps.backoff && rto < maxRTO; i++ {
+		rto *= 2
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}
+
+// observeRTT folds one first-transmission RTT sample into the estimator.
+func (ps *peerState) observeRTT(sample time.Duration) {
+	if ps.srtt == 0 {
+		ps.srtt = sample
+		ps.rttvar = sample / 2
+		return
+	}
+	diff := ps.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	ps.rttvar = (3*ps.rttvar + diff) / 4
+	ps.srtt = (7*ps.srtt + sample) / 8
+}
+
 type pending struct {
 	payload  []byte
 	lastSent time.Time
-	rto      time.Duration
 	retries  int
 	inFlight int  // transmissions handed to inner and not yet returned (guarded by e.mu)
 	acked    bool // removed from the window; recycle payload when inFlight drains
@@ -119,17 +201,21 @@ type pending struct {
 // New wraps inner with reliability. The Endpoint owns inner and closes it.
 func New(inner transport.Datagram) *Endpoint {
 	e := &Endpoint{
-		inner:        inner,
-		pool:         nio.NewPool(inner.MaxDatagram()),
-		ackPool:      nio.NewPool(ackLen),
-		peers:        make(map[transport.Addr]*peerState),
-		inbox:        make(chan message, 1024),
-		done:         make(chan struct{}),
-		retransmits:  telemetry.Default.Counter("diwarp_rudp_retransmits_total"),
-		rtoExpired:   telemetry.Default.Counter("diwarp_rudp_rto_expired_total"),
-		ackSendFail:  telemetry.Default.Counter("diwarp_rudp_ack_send_fail_total"),
-		dataSendFail: telemetry.Default.Counter("diwarp_rudp_retransmit_send_fail_total"),
-		rtt:          telemetry.Default.Histogram("diwarp_rudp_rtt_microseconds"),
+		inner:         inner,
+		pool:          nio.NewPool(inner.MaxDatagram()),
+		ackPool:       nio.NewPool(ackLen),
+		peers:         make(map[transport.Addr]*peerState),
+		inbox:         make(chan message, 1024),
+		done:          make(chan struct{}),
+		retransmits:   telemetry.Default.Counter("diwarp_rudp_retransmits_total"),
+		rtoExpired:    telemetry.Default.Counter("diwarp_rudp_rto_expired_total"),
+		ackSendFail:   telemetry.Default.Counter("diwarp_rudp_ack_send_fail_total"),
+		dataSendFail:  telemetry.Default.Counter("diwarp_rudp_retransmit_send_fail_total"),
+		crcFail:       telemetry.Default.Counter("diwarp_rudp_crc_fail_total"),
+		windowDrops:   telemetry.Default.Counter("diwarp_rudp_window_drops_total"),
+		evictions:     telemetry.Default.Counter("diwarp_rudp_peer_evictions_total"),
+		epochMismatch: telemetry.Default.Counter("diwarp_rudp_epoch_mismatch_total"),
+		rtt:           telemetry.Default.Histogram("diwarp_rudp_rtt_microseconds"),
 	}
 	e.wg.Add(2)
 	go e.recvLoop()
@@ -146,14 +232,74 @@ func (e *Endpoint) peer(a transport.Addr) *peerState {
 			nextSeq:  1,
 			expected: 1,
 			sendWait: make(chan struct{}, 1),
+			txEpoch:  byte(rand.Int()),
 		}
 		e.peers[a] = p
 	}
 	return p
 }
 
+// evict removes a dead peer's state so a restarted peer (or a fresh
+// conversation) starts from clean sequence space. Caller holds e.mu; the
+// unacked window was already released when the peer was declared dead.
+func (e *Endpoint) evict(a transport.Addr) {
+	delete(e.peers, a)
+	e.evictions.Inc()
+}
+
 // seqLE reports a ≤ b in wraparound-aware serial arithmetic.
 func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// IsAckPacket reports whether a wire packet is a rudp ACK — exported so a
+// fault-injection layer below can target the reverse path (ACK blackholes)
+// without re-deriving the wire format.
+func IsAckPacket(p []byte) bool { return len(p) == ackLen && p[0] == typeAck }
+
+// admitEpoch checks an inbound packet's epoch against the conversation and
+// reports whether processing may continue. Caller holds e.mu.
+//
+// A mismatch means the peer's conversation state was rebuilt (process
+// restart, or eviction-and-retry on its side). With sends outstanding, the
+// conversation's fate is ambiguous — some packets the old incarnation
+// SACKed may never have been delivered — so the peer is declared dead and
+// the error surfaces instead of silently losing data. With nothing
+// outstanding, a conversation-start DATA (small seq) adopts the new
+// incarnation in place, clearing receive state so stale out-of-order
+// buffers cannot leak into the new conversation; anything else (stale
+// stragglers, orphan ACKs) is dropped.
+func (e *Endpoint) admitEpoch(ps *peerState, from transport.Addr, epoch byte, isData bool, seq uint32) bool {
+	if !ps.rxBound {
+		ps.rxBound, ps.rxEpoch = true, epoch
+		return true
+	}
+	if ps.rxEpoch == epoch {
+		return true
+	}
+	e.epochMismatch.Inc()
+	if len(ps.unacked) > 0 {
+		if ps.dead == nil {
+			ps.dead = fmt.Errorf("%w: %s restarted (epoch %d -> %d)", ErrPeerDead, from, ps.rxEpoch, epoch)
+			for s, pd := range ps.unacked {
+				delete(ps.unacked, s)
+				e.release(pd)
+			}
+			select {
+			case ps.sendWait <- struct{}{}:
+			default:
+			}
+		}
+		return false
+	}
+	if isData && seq-1 < acceptWindow {
+		ps.rxEpoch = epoch
+		ps.expected = 1
+		clear(ps.ooo)
+		ps.nextSeq = 1
+		ps.srtt, ps.rttvar, ps.backoff = 0, 0, 0
+		return true
+	}
+	return false
+}
 
 // release marks a pending packet as out of the window and recycles its wire
 // buffer once no transmission still references it. Caller holds e.mu.
@@ -181,7 +327,9 @@ func (e *Endpoint) finishSends(pds ...*pending) {
 }
 
 // SendTo implements transport.Datagram. It blocks while the peer's send
-// window is full and returns ErrPeerDead if the peer stops acknowledging.
+// window is full and returns ErrPeerDead if the peer stops acknowledging —
+// in which case the peer's state is evicted, so the next SendTo to the same
+// address starts a fresh conversation.
 func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 	if len(p) > e.MaxDatagram() {
 		return transport.ErrTooLarge
@@ -192,23 +340,24 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 			e.mu.Unlock()
 			return transport.ErrClosed
 		}
-		if e.fatal != nil {
-			err := e.fatal
+		ps := e.peer(to)
+		if ps.dead != nil {
+			err := ps.dead
+			e.evict(to)
 			e.mu.Unlock()
 			return err
 		}
-		ps := e.peer(to)
 		if len(ps.unacked) < windowSize {
 			seq := ps.nextSeq
 			ps.nextSeq++
 			buf := e.pool.Get()
-			buf = append(buf, typeData, 0)
+			buf = append(buf, typeData, ps.txEpoch)
 			buf = nio.PutU32(buf, seq)
 			buf = append(buf, p...)
+			buf = nio.PutU32(buf, crcx.Checksum(buf))
 			pd := &pending{
 				payload:  buf,
 				lastSent: time.Now(),
-				rto:      initialRTO,
 				inFlight: 1,
 			}
 			ps.unacked[seq] = pd
@@ -260,7 +409,10 @@ func (e *Endpoint) Recv(timeout time.Duration) ([]byte, transport.Addr, error) {
 	}
 }
 
-// recvLoop dispatches incoming DATA and ACK packets.
+// recvLoop dispatches incoming DATA and ACK packets. The CRC trailer is
+// checked before anything else: a corrupt header is indistinguishable from
+// a hostile one, and acting on it corrupts protocol state (see the wire
+// format comment), so the packet is dropped and recovered as a loss.
 func (e *Endpoint) recvLoop() {
 	defer e.wg.Done()
 	recycler, _ := e.inner.(transport.Recycler)
@@ -269,13 +421,19 @@ func (e *Endpoint) recvLoop() {
 		if err != nil {
 			return // endpoint closed underneath us
 		}
-		if len(pkt) >= headerLen {
-			switch pkt[0] {
-			case typeData:
-				e.handleData(pkt, from)
-			case typeAck:
-				if len(pkt) >= ackLen {
-					e.handleAck(pkt, from)
+		if len(pkt) >= headerLen+crcx.Size {
+			body := pkt[:len(pkt)-crcx.Size]
+			if crcx.Checksum(body) != nio.U32(pkt[len(body):]) {
+				e.crcFail.Inc()
+				telemetry.DefaultTrace.Record(telemetry.EvCRCFail, telemetry.PeerToken(from), len(pkt), 0)
+			} else {
+				switch body[0] {
+				case typeData:
+					e.handleData(body, from)
+				case typeAck:
+					if len(body) >= ackBodyLen {
+						e.handleAck(body, from)
+					}
 				}
 			}
 		}
@@ -292,12 +450,19 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 
 	e.mu.Lock()
 	ps := e.peer(from)
+	if !e.admitEpoch(ps, from, pkt[1], true, seq) {
+		e.mu.Unlock()
+		return
+	}
 	var deliverables []message
-	if seqLE(ps.expected, seq) {
+	switch {
+	case seq-ps.expected < acceptWindow:
+		// In the acceptance window: buffer, then deliver the in-order
+		// prefix. The subtraction is wraparound-correct, so a window that
+		// straddles seq 2^32 → 0 behaves like any other.
 		if _, dup := ps.ooo[seq]; !dup {
 			ps.ooo[seq] = append([]byte(nil), payload...)
 		}
-		// Deliver the in-order prefix.
 		for {
 			data, ok := ps.ooo[ps.expected]
 			if !ok {
@@ -307,6 +472,16 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 			deliverables = append(deliverables, message{payload: data, from: from})
 			ps.expected++
 		}
+	case seqLE(seq, ps.expected-1):
+		// Old duplicate (the sender missed our ACK): nothing to store, but
+		// fall through to re-cut the cumulative ACK below.
+	default:
+		// Beyond the window: a sane sender cannot produce this within one
+		// conversation, so nothing is stored — one garbage packet must not
+		// reserve unbounded reassembly state. The cumulative ACK below is
+		// still sent: it is truthful, and its epoch lets a sender whose
+		// conversation predates ours detect the restart immediately.
+		e.windowDrops.Inc()
 	}
 	ack := e.buildAck(ps)
 	e.mu.Unlock()
@@ -338,9 +513,10 @@ func (e *Endpoint) buildAck(ps *peerState) []byte {
 		}
 	}
 	buf := e.ackPool.Get()
-	buf = append(buf, typeAck, 0)
+	buf = append(buf, typeAck, ps.txEpoch)
 	buf = nio.PutU32(buf, cum)
 	buf = nio.PutU32(buf, bitmap)
+	buf = nio.PutU32(buf, crcx.Checksum(buf))
 	return buf
 }
 
@@ -350,11 +526,23 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 
 	now := time.Now()
 	e.mu.Lock()
-	ps := e.peer(from)
+	// Look up without creating: an ACK from an address we are not talking
+	// to (evicted peer's stale ack, mis-delivery) must not mint state.
+	ps, ok := e.peers[from]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	if !e.admitEpoch(ps, from, pkt[1], false, 0) {
+		e.mu.Unlock()
+		return
+	}
 	freed := false
 	for seq, pd := range ps.unacked {
 		acked := seqLE(seq, cum)
 		if !acked {
+			// SACK offset in wraparound arithmetic: seq-cum-1 is the bit
+			// index even when cum is just below 2^32 and seq just above 0.
 			if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
 				acked = true
 			}
@@ -365,11 +553,19 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 		// Karn's algorithm: only first transmissions give an unambiguous
 		// RTT sample — an ack after a retransmit could match either send.
 		if pd.retries == 0 {
-			e.rtt.Observe(now.Sub(pd.lastSent).Microseconds())
+			sample := now.Sub(pd.lastSent)
+			e.rtt.Observe(sample.Microseconds())
+			ps.observeRTT(sample)
 		}
 		delete(ps.unacked, seq)
 		e.release(pd)
 		freed = true
+	}
+	if freed {
+		// Acknowledged progress ends the backoff regime (Karn): the path is
+		// passing traffic again, so retransmission timing restarts from the
+		// current RTT estimate instead of the escalated timeout.
+		ps.backoff = 0
 	}
 	wait := ps.sendWait
 	e.mu.Unlock()
@@ -382,7 +578,10 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 }
 
 // retransmitLoop resends unacknowledged packets whose RTO expired, with
-// exponential backoff, and declares the endpoint failed after maxRetries.
+// per-peer Karn backoff, and declares a peer dead after maxRetries. Death
+// is contained to the peer: its window is released (no buffer may outlive
+// the window) and its state awaits eviction by the next SendTo/Flush that
+// observes the error; other peers are untouched.
 func (e *Endpoint) retransmitLoop() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(tickInterval)
@@ -400,22 +599,30 @@ func (e *Endpoint) retransmitLoop() {
 			seq uint32
 		}
 		var rs []resend
+		var wakes []chan struct{}
 		e.mu.Lock()
 		for addr, ps := range e.peers {
+			if ps.dead != nil {
+				continue
+			}
+			rto := ps.curRTO()
+			bumped := false
 			for seq, pd := range ps.unacked {
-				if now.Sub(pd.lastSent) < pd.rto {
+				if now.Sub(pd.lastSent) < rto {
 					continue
 				}
 				pd.retries++
 				e.rtoExpired.Inc()
 				if pd.retries > maxRetries {
-					e.fatal = fmt.Errorf("%w: %s", ErrPeerDead, addr)
-					continue
+					ps.dead = fmt.Errorf("%w: %s", ErrPeerDead, addr)
+					break
 				}
 				pd.lastSent = now
-				pd.rto *= 2
-				if pd.rto > maxRTO {
-					pd.rto = maxRTO
+				if !bumped && ps.backoff < maxBackoff {
+					// One doubling per expiry event, not per packet: a
+					// whole window expiring together is one timeout.
+					ps.backoff++
+					bumped = true
 				}
 				// Hold an in-flight reference so a concurrent ack cannot
 				// recycle (and another sender overwrite) the buffer while
@@ -423,8 +630,24 @@ func (e *Endpoint) retransmitLoop() {
 				pd.inFlight++
 				rs = append(rs, resend{pd: pd, to: addr, seq: seq})
 			}
+			if ps.dead != nil {
+				// Release the whole window now. Without this the buffers
+				// (and any sender blocked on window space) would be wedged
+				// until eviction, and Close could not drain the pool.
+				for seq, pd := range ps.unacked {
+					delete(ps.unacked, seq)
+					e.release(pd)
+				}
+				wakes = append(wakes, ps.sendWait)
+			}
 		}
 		e.mu.Unlock()
+		for _, w := range wakes {
+			select {
+			case w <- struct{}{}:
+			default:
+			}
+		}
 		for _, r := range rs {
 			// A failed retransmission behaves exactly like a lost one: the
 			// next RTO tick retries it. Count it so a dead transport shows.
@@ -439,19 +662,31 @@ func (e *Endpoint) retransmitLoop() {
 }
 
 // Flush blocks until every sent message has been acknowledged, or the
-// timeout passes (returning transport.ErrTimeout), or a peer dies.
+// timeout passes (returning transport.ErrTimeout), or a peer dies
+// (returning its ErrPeerDead and evicting it), or the endpoint is closed
+// (returning transport.ErrClosed — a Flush racing Close must resolve, not
+// spin out its full timeout against loops that no longer run).
 func (e *Endpoint) Flush(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return transport.ErrClosed
+		}
 		outstanding := 0
-		for _, ps := range e.peers {
+		var dead error
+		for addr, ps := range e.peers {
+			if ps.dead != nil && dead == nil {
+				dead = ps.dead
+				e.evict(addr)
+				continue
+			}
 			outstanding += len(ps.unacked)
 		}
-		err := e.fatal
 		e.mu.Unlock()
-		if err != nil {
-			return err
+		if dead != nil {
+			return dead
 		}
 		if outstanding == 0 {
 			return nil
@@ -459,7 +694,11 @@ func (e *Endpoint) Flush(timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return transport.ErrTimeout
 		}
-		time.Sleep(tickInterval)
+		select {
+		case <-e.done:
+			return transport.ErrClosed
+		case <-time.After(tickInterval):
+		}
 	}
 }
 
@@ -476,6 +715,15 @@ type Snapshot struct {
 	// RetransmitSendFailures counts retransmission sends the inner
 	// transport rejected.
 	RetransmitSendFailures int64
+	// CRCFailures counts inbound packets dropped by the header CRC check.
+	CRCFailures int64
+	// WindowDrops counts DATA packets beyond the acceptance window.
+	WindowDrops int64
+	// PeerEvictions counts dead peers whose state was torn down.
+	PeerEvictions int64
+	// EpochMismatches counts packets carrying a different conversation
+	// incarnation than the one bound — restart detections and stragglers.
+	EpochMismatches int64
 }
 
 // Snapshot reports this endpoint's reliability counters. The values are
@@ -487,6 +735,10 @@ func (e *Endpoint) Snapshot() Snapshot {
 		RTOExpirations:         e.rtoExpired.Load(),
 		AckSendFailures:        e.ackSendFail.Load(),
 		RetransmitSendFailures: e.dataSendFail.Load(),
+		CRCFailures:            e.crcFail.Load(),
+		WindowDrops:            e.windowDrops.Load(),
+		PeerEvictions:          e.evictions.Load(),
+		EpochMismatches:        e.epochMismatch.Load(),
 	}
 }
 
@@ -497,16 +749,24 @@ func (e *Endpoint) SendErrors() uint64 {
 	return uint64(e.ackSendFail.Load() + e.dataSendFail.Load())
 }
 
+// PoolOutstanding reports how many DATA wire buffers are currently checked
+// out of the send pool — the chaos harness's leak invariant: at quiesce
+// (everything flushed or every peer evicted, endpoint closed) it must be 0.
+func (e *Endpoint) PoolOutstanding() int64 { return e.pool.Outstanding() }
+
 // LocalAddr implements transport.Datagram.
 func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }
 
-// MaxDatagram implements transport.Datagram, reserving header space.
-func (e *Endpoint) MaxDatagram() int { return e.inner.MaxDatagram() - headerLen }
+// MaxDatagram implements transport.Datagram, reserving header and CRC
+// trailer space.
+func (e *Endpoint) MaxDatagram() int { return e.inner.MaxDatagram() - headerLen - crcx.Size }
 
 // PathMTU implements transport.Datagram.
 func (e *Endpoint) PathMTU() int { return e.inner.PathMTU() }
 
-// Close implements transport.Datagram, closing the underlying endpoint.
+// Close implements transport.Datagram, closing the underlying endpoint and
+// recycling every wire buffer still sitting in a send window, so a closed
+// endpoint leaves its pool balanced even when peers never acked.
 func (e *Endpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -518,5 +778,16 @@ func (e *Endpoint) Close() error {
 	close(e.done)
 	err := e.inner.Close()
 	e.wg.Wait()
+	// Loops are stopped: nothing takes new in-flight references. Buffers
+	// still referenced by a SendTo mid-inner-send are recycled by its
+	// finishSends (release marks them acked below).
+	e.mu.Lock()
+	for _, ps := range e.peers {
+		for seq, pd := range ps.unacked {
+			delete(ps.unacked, seq)
+			e.release(pd)
+		}
+	}
+	e.mu.Unlock()
 	return err
 }

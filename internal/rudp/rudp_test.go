@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/crcx"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
@@ -210,7 +211,7 @@ func TestPeerDeadAfterRetries(t *testing.T) {
 
 func TestMaxDatagramReservesHeader(t *testing.T) {
 	a, b := pair(t, simnet.Config{})
-	if a.MaxDatagram() != transport.MaxDatagramSize-headerLen {
+	if a.MaxDatagram() != transport.MaxDatagramSize-headerLen-crcx.Size {
 		t.Fatalf("MaxDatagram = %d", a.MaxDatagram())
 	}
 	if err := a.SendTo(make([]byte, a.MaxDatagram()+1), b.LocalAddr()); !errors.Is(err, transport.ErrTooLarge) {

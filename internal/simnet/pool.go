@@ -19,7 +19,9 @@ const (
 // getPktBuf, misses the ones that had to allocate (sync.Pool New or an
 // oversized request). DatagramEndpoint re-exports these through
 // transport.RecvPoolStats so the layer above can surface them as telemetry.
-var pktBufGets, pktBufMisses atomic.Int64
+// puts counts every size-class buffer returned through putPktBuf, so the
+// chaos harness can assert the gets == puts balance at quiesce.
+var pktBufGets, pktBufMisses, pktBufPuts atomic.Int64
 
 var smallPool = sync.Pool{New: func() any {
 	pktBufMisses.Add(1)
@@ -54,9 +56,11 @@ func getPktBuf(n int) []byte {
 func putPktBuf(p []byte) {
 	switch cap(p) {
 	case smallPktBuf:
+		pktBufPuts.Add(1)
 		p = p[:smallPktBuf]
 		smallPool.Put(&p)
 	case largePktBuf:
+		pktBufPuts.Add(1)
 		p = p[:largePktBuf]
 		largePool.Put(&p)
 	}
@@ -66,4 +70,19 @@ func putPktBuf(p []byte) {
 func pktBufStats() (hits, misses int64) {
 	m := pktBufMisses.Load()
 	return pktBufGets.Load() - m, m
+}
+
+// PktBufBalance reports the packet pools' cumulative get and put counters.
+// Oversized (unpooled) gets are excluded from the get count so the two sides
+// compare like-for-like: at quiesce, with every delivered datagram consumed
+// and recycled, gets - puts is the number of pooled buffers still held —
+// the chaos harness's leak invariant. The counters are process-global
+// (shared by every simnet Network), so checkers compare deltas.
+func PktBufBalance() (gets, puts int64) {
+	// Oversized requests bump both gets and misses but never reach a pool;
+	// they can never be Put back. They are indistinguishable here from
+	// size-class allocation misses, which DO get recycled, so callers that
+	// need an exact balance must avoid >64 KB datagrams (the chaos harness
+	// does). All size-class traffic balances exactly.
+	return pktBufGets.Load(), pktBufPuts.Load()
 }

@@ -23,6 +23,7 @@ const (
 	EvDrop                  // datagram dropped (wire loss, no posted receive, ...)
 	EvWriteRecord           // tagged segment placed into a registered region
 	EvCRCFail               // DDP segment or MPA FPDU failed its CRC32C
+	EvFault                 // faultnet injected a fault (Arg = faultnet op code)
 )
 
 // Drop causes carried in an EvDrop event's Arg, shared by every layer that
@@ -50,6 +51,8 @@ func (t EventType) String() string {
 		return "WRITE_RECORD"
 	case EvCRCFail:
 		return "CRC_FAIL"
+	case EvFault:
+		return "FAULT"
 	default:
 		return "NONE"
 	}
