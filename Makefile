@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke check clean
+.PHONY: all build test test-portable race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke check clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The same suite with the kernel batch datapath (DESIGN.md §4.9) forced off
+# process-wide: proves sendmmsg/recvmmsg + GSO/GRO degrade to the portable
+# one-syscall-per-datagram loop with no behaviour change, on a kernel that
+# supports everything.
+test-portable:
+	DIWARP_UDP_BATCH=portable $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
@@ -42,9 +49,14 @@ bench-datapath:
 # One fast pass over both datapath benchmarks (send + batched receive):
 # not for numbers — it proves the benchmarks still build, run, and hold
 # the 0 allocs/op receive bar (TestRecvPathAllocFree runs alongside).
+# The transport pass covers the kernel batch tiers: its alloc tests skip
+# cleanly when the kernel lacks sendmmsg or the UDP_SEGMENT/UDP_GRO
+# offloads (the capability probe decides at runtime).
 bench-smoke:
 	$(GO) test -bench='BenchmarkUDSendPath|BenchmarkUDRecvPath' -benchtime=0.2s -benchmem \
 		-run='TestRecvPathAllocFree|TestSendPathAllocFree' ./internal/ddp/
+	$(GO) test -bench='BenchmarkUDPSendBatch|BenchmarkUDPRecvBatch' -benchtime=0.2s -benchmem \
+		-run='TestUDPSendBatchAllocFree|TestUDPRecvBatchAllocFreeKernel' ./internal/transport/
 
 # Boot the daemon over a 1%-lossy simnet, scrape its own /metrics, and
 # fail unless the datapath counters show traffic, loss, and rudp recovery
@@ -60,7 +72,7 @@ chaos-smoke:
 	$(GO) test -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/
 
 # What CI should run.
-check: build vet test race lint telemetry-smoke chaos-smoke
+check: build vet test test-portable race lint telemetry-smoke chaos-smoke
 
 clean:
 	rm -rf bin

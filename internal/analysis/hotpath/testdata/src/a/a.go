@@ -108,3 +108,62 @@ func goodRecvBatch(pkts [][]byte, froms []addr) int {
 	}
 	return n
 }
+
+// --- kernel batch syscall-path shapes (transport's sendmmsg/recvmmsg arm
+// functions): the vector arrays behind a batch syscall must be preallocated
+// per endpoint and filled in place, never rebuilt per burst. ---
+
+type iovec struct {
+	base *byte
+	vlen uint64
+}
+
+type msghdr struct {
+	name    *byte
+	namelen uint32
+	iov     *iovec
+	iovlen  uint64
+	control *byte
+}
+
+// mmsgSock models an endpoint owning its syscall arrays.
+type mmsgSock struct {
+	hdrs [64]msghdr
+	iovs [64]iovec
+	ctrl [32]byte
+}
+
+// badArmSend is the syscall arm done wrong: fresh header and iovec arrays
+// plus a literal control buffer on every burst.
+//
+//diwarp:hotpath
+func badArmSend(pkts [][]byte) []msghdr {
+	hdrs := make([]msghdr, len(pkts)) // want `allocates with make`
+	iovs := make([]iovec, len(pkts))  // want `allocates with make`
+	ctrl := []byte{0, 0, 0, 0}        // want `allocates a slice literal`
+	for i := range pkts {
+		iovs[i] = iovec{vlen: uint64(len(pkts[i]))}
+		hdrs[i].iov = &iovs[i]
+		hdrs[i].control = &ctrl[0]
+	}
+	return hdrs
+}
+
+// goodArmSend is the same arm done right: the endpoint's preallocated
+// arrays are indexed and filled in place, so arming a burst of any width
+// touches no allocator.
+//
+//diwarp:hotpath
+func (s *mmsgSock) goodArmSend(pkts [][]byte) int {
+	for i, p := range pkts {
+		if len(p) > 0 {
+			s.iovs[i].base = &p[0]
+		}
+		s.iovs[i].vlen = uint64(len(p))
+		h := &s.hdrs[i]
+		h.iov = &s.iovs[i]
+		h.iovlen = 1
+		h.control = &s.ctrl[0]
+	}
+	return len(pkts)
+}

@@ -45,9 +45,10 @@ type DatagramChannel struct {
 	brecv  transport.BatchRecver   // non-nil when ep supports batched receives
 	pstats transport.RecvPoolStats // non-nil when ep reports receive-pool stats
 
-	pool     *nio.Pool // segment wire buffers, capacity ep.MaxDatagram()
-	batchBuf sync.Pool // *[][]byte scratch, capacity maxBatchSegments
-	recvBuf  sync.Pool // *recvScratch staging for RecvBatch
+	pool      *nio.Pool // segment wire buffers, capacity ep.MaxDatagram()
+	batchBuf  sync.Pool // *[][]byte scratch, capacity maxBatchSegments
+	recvBuf   sync.Pool // *recvScratch staging for RecvBatch
+	recvBurst int       // scratch width: maxRecvBurst, widened under GRO
 
 	// lastPoolHits/Misses are the endpoint pool counters as of the last
 	// pull; RecvBatch exports the per-batch delta into the registry handles
@@ -76,6 +77,15 @@ type DatagramChannel struct {
 // side's maxBatchSegments so a full send burst drains in one receive burst.
 const maxRecvBurst = maxBatchSegments
 
+// maxRecvBurstGRO is the burst bound against an LLP doing UDP_GRO receive
+// coalescing (transport.BatchFeatures.GRO): one recvmmsg there can split
+// back into up to 64 datagrams per super-segment (the kernel's
+// UDP_MAX_SEGMENTS), so a maxRecvBurst-sized pull would leave split-back
+// overflow queued in the endpoint and re-enter the syscall path half-fed.
+// Doubling the scratch lets one pull drain a full GSO burst's worth of
+// coalesced traffic in one hop.
+const maxRecvBurstGRO = 2 * maxRecvBurst
+
 // recvScratch is the staging area RecvBatch pulls raw datagrams into before
 // CRC verification; pooled per channel so the receive path allocates nothing.
 type recvScratch struct {
@@ -103,14 +113,18 @@ func NewDatagramChannel(ep transport.Datagram) *DatagramChannel {
 	ch.batch, _ = ep.(transport.BatchSender)
 	ch.brecv, _ = ep.(transport.BatchRecver)
 	ch.pstats, _ = ep.(transport.RecvPoolStats)
+	ch.recvBurst = maxRecvBurst
+	if bc, ok := ep.(transport.BatchCapabilities); ok && bc.BatchFeatures().GRO {
+		ch.recvBurst = maxRecvBurstGRO
+	}
 	ch.batchBuf.New = func() any {
 		b := make([][]byte, 0, maxBatchSegments)
 		return &b
 	}
 	ch.recvBuf.New = func() any {
 		return &recvScratch{
-			pkts:  make([][]byte, maxRecvBurst),
-			addrs: make([]transport.Addr, maxRecvBurst),
+			pkts:  make([][]byte, ch.recvBurst),
+			addrs: make([]transport.Addr, ch.recvBurst),
 		}
 	}
 	return ch
@@ -332,7 +346,7 @@ func (ch *DatagramChannel) RecvBatch(segs []Segment, froms []transport.Addr, tim
 		segs[0], froms[0] = seg, from
 		return 1, nil
 	}
-	burst := min(max, maxRecvBurst)
+	burst := min(max, ch.recvBurst)
 	deadline := time.Time{}
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)

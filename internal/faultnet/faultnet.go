@@ -418,6 +418,17 @@ func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }
 // property, not a path property, so the MTU shrink does not move it.
 func (e *Endpoint) MaxDatagram() int { return e.inner.MaxDatagram() }
 
+// BatchFeatures forwards the inner endpoint's kernel batch capabilities so
+// the layers above a faulty link size their bursts the same way they would
+// on the clean link (GRO split-back still happens below the fault filter,
+// and SendBatch/RecvBatch above preserve per-packet fault verdicts).
+func (e *Endpoint) BatchFeatures() transport.BatchFeatures {
+	if bc, ok := e.inner.(transport.BatchCapabilities); ok {
+		return bc.BatchFeatures()
+	}
+	return transport.BatchFeatures{}
+}
+
 // PathMTU reports the shrunken MTU once SetMTU has taken effect.
 func (e *Endpoint) PathMTU() int {
 	e.mu.Lock()

@@ -1,0 +1,30 @@
+package telemetry
+
+import "repro/internal/transport"
+
+// Batch-datapath instruments for the kernel batch I/O path (DESIGN.md
+// §4.9). Package transport sits below telemetry in the import graph (the
+// pcap taps and trace ring wrap transport types), so it cannot register
+// these itself; instead it exposes the narrow BatchMetrics sink and this
+// init installs registry-backed handles into it. Linking telemetry —
+// which every daemon and benchmark binary does — is what turns the
+// transport's batch observations into scrapeable series:
+//
+//   - diwarp_transport_batch_syscalls: pow2 histogram of syscalls per
+//     SendBatch/RecvBatch burst (the portable loop observes the burst
+//     size here; one sendmmsg observes 1);
+//   - diwarp_transport_segs_per_syscall: pow2 histogram of datagrams
+//     moved per batch syscall (burst mean — 32-datagram sendmmsg
+//     observes 32, the portable loop observes 1), the direct measure of
+//     how much syscall amortization the kernel path is buying;
+//   - diwarp_transport_gso_enabled / diwarp_transport_gro_enabled:
+//     gauges reflecting the most recent endpoint capability probe (1 =
+//     offload live, 0 = probed off or degraded at runtime).
+func init() {
+	transport.SetBatchMetrics(&transport.BatchMetrics{
+		BatchSyscalls:  Default.Histogram("diwarp_transport_batch_syscalls"),
+		SegsPerSyscall: Default.Histogram("diwarp_transport_segs_per_syscall"),
+		GSOEnabled:     Default.Gauge("diwarp_transport_gso_enabled"),
+		GROEnabled:     Default.Gauge("diwarp_transport_gro_enabled"),
+	})
+}

@@ -263,6 +263,16 @@ var _ transport.BatchSender = (*DatagramTap)(nil)
 var _ transport.BatchRecver = (*DatagramTap)(nil)
 var _ transport.Recycler = (*DatagramTap)(nil)
 var _ transport.RecvPoolStats = (*DatagramTap)(nil)
+var _ transport.BatchCapabilities = (*DatagramTap)(nil)
+
+// BatchFeatures forwards the inner endpoint's kernel batch capabilities, so
+// tapping a link does not change the burst sizing of the layers above.
+func (t *DatagramTap) BatchFeatures() transport.BatchFeatures {
+	if bc, ok := t.inner.(transport.BatchCapabilities); ok {
+		return bc.BatchFeatures()
+	}
+	return transport.BatchFeatures{}
+}
 
 // TapDatagram interposes a pcap tap over inner, writing to pw.
 func TapDatagram(inner transport.Datagram, pw *PcapWriter) *DatagramTap {

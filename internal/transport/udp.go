@@ -27,16 +27,24 @@ type UDPEndpoint struct {
 	mtu  int
 	pool *nio.Pool
 
+	// kern is the kernel batch datapath (sendmmsg/recvmmsg + GSO/GRO,
+	// DESIGN.md §4.9) when the platform and the capability probe allow it;
+	// nil means every burst runs the portable loop below. feats caches the
+	// probe's verdict for BatchFeatures.
+	kern  *kernelBatch
+	feats BatchFeatures
+
 	addrMu    sync.RWMutex
 	addrCache map[netip.AddrPort]Addr
 }
 
 var (
-	_ Datagram      = (*UDPEndpoint)(nil)
-	_ BatchSender   = (*UDPEndpoint)(nil)
-	_ BatchRecver   = (*UDPEndpoint)(nil)
-	_ Recycler      = (*UDPEndpoint)(nil)
-	_ RecvPoolStats = (*UDPEndpoint)(nil)
+	_ Datagram          = (*UDPEndpoint)(nil)
+	_ BatchSender       = (*UDPEndpoint)(nil)
+	_ BatchRecver       = (*UDPEndpoint)(nil)
+	_ Recycler          = (*UDPEndpoint)(nil)
+	_ RecvPoolStats     = (*UDPEndpoint)(nil)
+	_ BatchCapabilities = (*UDPEndpoint)(nil)
 )
 
 // maxAddrCache bounds the source-address cache; at the bound the cache is
@@ -50,7 +58,17 @@ const maxAddrCache = 4096
 var aLongTimeAgo = time.Unix(1, 0)
 
 // ListenUDP binds a UDP endpoint on host:port (port 0 picks a free port).
+// The kernel batch datapath is probed per the DIWARP_UDP_BATCH environment
+// override ("portable", "mmsg", else auto); ListenUDPMode pins it in code.
 func ListenUDP(host string, port uint16) (*UDPEndpoint, error) {
+	return ListenUDPMode(host, port, envBatchMode())
+}
+
+// ListenUDPMode is ListenUDP with the batch-capability probe pinned to
+// mode: BatchAuto probes everything, BatchMmsg forgoes the GSO/GRO
+// offloads, BatchPortable forces the one-syscall-per-datagram loop. Tests
+// use it to run the identical suite over every fallback tier.
+func ListenUDPMode(host string, port uint16, mode UDPBatchMode) (*UDPEndpoint, error) {
 	ip := net.ParseIP(host)
 	if ip == nil && host != "" {
 		addrs, err := net.LookupIP(host)
@@ -67,12 +85,27 @@ func ListenUDP(host string, port uint16) (*UDPEndpoint, error) {
 	// stack relies on the kernel's UDP buffering below it.
 	_ = conn.SetReadBuffer(8 << 20)  //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
 	_ = conn.SetWriteBuffer(8 << 20) //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
-	return &UDPEndpoint{
+	e := &UDPEndpoint{
 		conn:      conn,
 		mtu:       DefaultMTU,
 		pool:      nio.NewPool(MaxDatagramSize),
 		addrCache: make(map[netip.AddrPort]Addr),
-	}, nil
+	}
+	e.kern = newKernelBatch(conn, mode)
+	if e.kern != nil {
+		e.feats = e.kern.features()
+	}
+	publishFeatures(e.feats)
+	return e, nil
+}
+
+// BatchFeatures implements BatchCapabilities: the capability probe's
+// verdict for this endpoint.
+func (e *UDPEndpoint) BatchFeatures() BatchFeatures {
+	if e.kern != nil {
+		return e.kern.features() // reflects any runtime GSO degrade
+	}
+	return e.feats
 }
 
 // resolve maps a transport.Addr to a UDP socket address.
@@ -104,16 +137,19 @@ func (e *UDPEndpoint) SendTo(p []byte, to Addr) error {
 	return err
 }
 
-// SendBatch implements BatchSender: the destination is resolved once and the
-// burst is handed to writeBatch. Kernel-side sends still go out one syscall
-// at a time; batching today buys single resolution and branch-free looping,
-// and concentrates the per-burst transmit in one function so a sendmmsg(2)
-// implementation is a drop-in replacement for writeBatch alone.
+// SendBatch implements BatchSender. With the kernel batch datapath probed
+// in, the burst rides one sendmmsg(2) per mmsgMax chunk — or a single
+// UDP_SEGMENT (GSO) send when every datagram is the same size — instead of
+// one sendto per datagram; otherwise the portable writeBatch loop runs,
+// paying one resolve for the burst.
 func (e *UDPEndpoint) SendBatch(pkts [][]byte, to Addr) (int, error) {
 	for _, p := range pkts {
 		if len(p) > MaxDatagramSize {
 			return 0, ErrTooLarge
 		}
+	}
+	if e.kern != nil && e.feats.Sendmmsg {
+		return e.kern.sendBatch(pkts, to)
 	}
 	ua, err := resolve(to)
 	if err != nil {
@@ -122,8 +158,9 @@ func (e *UDPEndpoint) SendBatch(pkts [][]byte, to Addr) (int, error) {
 	return e.writeBatch(pkts, ua)
 }
 
-// writeBatch transmits a resolved burst. This is the sendmmsg seam: replace
-// the loop with one vectored syscall and nothing above it changes.
+// writeBatch transmits a resolved burst one syscall per datagram: the
+// portable fallback behind the sendmmsg path, and the only path on
+// platforms without it.
 //
 //diwarp:hotpath
 func (e *UDPEndpoint) writeBatch(pkts [][]byte, ua *net.UDPAddr) (int, error) {
@@ -132,9 +169,11 @@ func (e *UDPEndpoint) writeBatch(pkts [][]byte, ua *net.UDPAddr) (int, error) {
 			if errors.Is(err, net.ErrClosed) {
 				err = ErrClosed
 			}
+			observeBatch(int64(i), int64(i))
 			return i, err
 		}
 	}
+	observeBatch(int64(len(pkts)), int64(len(pkts)))
 	return len(pkts), nil
 }
 
@@ -190,8 +229,13 @@ func (e *UDPEndpoint) cachedAddr(ap netip.AddrPort) Addr {
 }
 
 // Recv implements Datagram. The returned buffer is pool-backed: the caller
-// owns it and may hand it back through Recycle once consumed.
+// owns it and may hand it back through Recycle once consumed. On a GRO
+// socket the receive routes through the kernel path's split-back machinery
+// so a kernel-coalesced super-segment is never delivered as one datagram.
 func (e *UDPEndpoint) Recv(timeout time.Duration) ([]byte, Addr, error) {
+	if e.kern != nil && e.feats.GRO {
+		return e.kern.recvOne(e, timeout)
+	}
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -202,13 +246,16 @@ func (e *UDPEndpoint) Recv(timeout time.Duration) ([]byte, Addr, error) {
 	return e.readPooled()
 }
 
-// RecvBatch implements BatchRecver: one blocking read under the caller's
-// timeout, then a non-blocking drain of whatever the socket already holds,
-// up to the burst size. This is the recvmmsg seam — replace the drain loop
-// with one vectored syscall and nothing above it changes; today it costs
-// one syscall per queued packet plus one returning EWOULDBLOCK, against
-// one wakeup and one deadline-arm for the whole burst.
+// RecvBatch implements BatchRecver. With the kernel batch datapath probed
+// in, the whole burst arrives through one recvmmsg(2) (MSG_DONTWAIT after
+// the netpoller's blocking wakeup, so the contract is unchanged: wait for
+// the first datagram, take the rest only if already queued). The portable
+// fallback below costs one syscall per queued packet plus one returning
+// EWOULDBLOCK, against one wakeup and one deadline-arm for the burst.
 func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Duration) (int, error) {
+	if e.kern != nil && e.feats.Recvmmsg {
+		return e.kern.recvBatch(e, pkts, froms, timeout)
+	}
 	max := min(len(pkts), len(froms))
 	if max == 0 {
 		return 0, nil
@@ -220,6 +267,7 @@ func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Durati
 	pkts[0], froms[0] = p, from
 	n := 1
 	if n == max {
+		observeBatch(1, 1)
 		return n, nil
 	}
 	// Drain without blocking: an expired deadline turns further reads into
@@ -227,7 +275,9 @@ func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Durati
 	if err := e.conn.SetReadDeadline(aLongTimeAgo); err != nil {
 		return n, nil //diwarp:ignore errflow — the burst's first packet is already delivered; the deadline error will resurface on the next blocking read
 	}
+	syscalls := int64(1) // the blocking first read
 	for n < max {
+		syscalls++
 		p, from, err := e.readPooled()
 		if err != nil {
 			break // ErrTimeout: socket drained; ErrClosed: next call reports it
@@ -235,6 +285,11 @@ func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Durati
 		pkts[n], froms[n] = p, from
 		n++
 	}
+	// Restore the deadline the drain expired: a blocking read that follows
+	// (or races) this burst must wait for data, not inherit a deadline
+	// already in the past.
+	_ = e.conn.SetReadDeadline(time.Time{}) //diwarp:ignore errflow — the burst is already delivered; a dead socket resurfaces on the next blocking read
+	observeBatch(syscalls, int64(n))
 	return n, nil
 }
 

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchFeatures reports which kernel batch-datapath capabilities a UDP
+// endpoint is actually using, as determined by the capability probe at
+// endpoint creation (DESIGN.md §4.9). Every field false means the endpoint
+// runs the portable one-syscall-per-datagram path; Sendmmsg/Recvmmsg mean
+// bursts go through sendmmsg(2)/recvmmsg(2); GSO means same-destination
+// bursts of equal-size segments collapse into one UDP_SEGMENT send; GRO
+// means the socket may deliver kernel-coalesced super-segments that the
+// endpoint splits back into per-datagram buffers.
+//
+// The offloads imply the base syscalls: GSO is only ever set alongside
+// Sendmmsg, GRO alongside Recvmmsg, because the offload paths reuse the
+// mmsg machinery (and GRO split-back must intercept every receive).
+type BatchFeatures struct {
+	Sendmmsg bool // bursts sent via sendmmsg(2)
+	Recvmmsg bool // bursts drained via recvmmsg(2)
+	GSO      bool // UDP_SEGMENT segmentation offload on eligible bursts
+	GRO      bool // UDP_GRO receive coalescing with split-back
+}
+
+// String renders the feature set the way iwarpd logs it.
+func (f BatchFeatures) String() string {
+	s := "portable"
+	if f.Sendmmsg || f.Recvmmsg {
+		s = "mmsg"
+	}
+	if f.GSO {
+		s += "+gso"
+	}
+	if f.GRO {
+		s += "+gro"
+	}
+	return s
+}
+
+// BatchCapabilities is an optional interface a Datagram implementation may
+// provide, reporting which batch-datapath features are live. Layers above
+// use it to tune burst sizing (ddp widens its receive scratch when GRO can
+// split one syscall's worth of coalesced traffic into more datagrams than a
+// portable burst would ever return) and wrappers (faultnet, telemetry's
+// DatagramTap) forward it so the probe's verdict survives stacking.
+type BatchCapabilities interface {
+	BatchFeatures() BatchFeatures
+}
+
+// UDPBatchMode selects how far down the kernel batch datapath a UDP
+// endpoint is allowed to go. It exists so the portable fallback stays
+// testable on kernels that support everything: the capability probe can be
+// overridden to force the exact code paths an unsupporting kernel would
+// take.
+type UDPBatchMode int
+
+const (
+	// BatchAuto probes the kernel and uses everything that works:
+	// sendmmsg/recvmmsg, then UDP_SEGMENT/UDP_GRO on top.
+	BatchAuto UDPBatchMode = iota
+	// BatchMmsg uses the batch syscalls but leaves the GSO/GRO offloads
+	// off even when the kernel supports them.
+	BatchMmsg
+	// BatchPortable disables the kernel batch path entirely: one syscall
+	// per datagram through the portable net.UDPConn loop.
+	BatchPortable
+)
+
+// envBatchMode reads the DIWARP_UDP_BATCH override once per process:
+// "portable" forces the portable loop, "mmsg" caps at the batch syscalls,
+// anything else (including unset) probes everything. It is the CI lever for
+// running the full suite over the fallback paths on a capable kernel.
+var envBatchMode = sync.OnceValue(func() UDPBatchMode {
+	switch os.Getenv("DIWARP_UDP_BATCH") {
+	case "portable", "off":
+		return BatchPortable
+	case "mmsg":
+		return BatchMmsg
+	default:
+		return BatchAuto
+	}
+})
+
+// BatchObserver records one histogram observation; BatchGauge sets a level.
+// They are the shape of telemetry's Histogram.Observe and Gauge.Set, declared
+// here because this package sits below telemetry in the import graph (the
+// pcap taps and trace ring import transport) and must not close the cycle.
+type BatchObserver interface{ Observe(v int64) }
+
+// BatchGauge is the gauge half of the telemetry seam; see BatchObserver.
+type BatchGauge interface{ Set(v int64) }
+
+// BatchMetrics carries the batch-datapath instruments the transport feeds:
+// how many syscalls each burst cost, how many datagrams each syscall moved,
+// and whether the GSO/GRO offloads are live. Package telemetry installs
+// registry-backed handles at init; with no sink installed recording is a
+// nil-check and a branch.
+type BatchMetrics struct {
+	BatchSyscalls  BatchObserver // syscalls issued per SendBatch/RecvBatch call
+	SegsPerSyscall BatchObserver // datagrams moved per batch syscall (burst mean)
+	GSOEnabled     BatchGauge    // 1 when the last probed endpoint sends with UDP_SEGMENT
+	GROEnabled     BatchGauge    // 1 when the last probed endpoint receives with UDP_GRO
+}
+
+var batchMetrics atomic.Pointer[BatchMetrics]
+
+// SetBatchMetrics installs the process-wide batch-datapath telemetry sink.
+// Passing nil disables recording. Intended to be called once from package
+// telemetry's init; tests may swap sinks.
+func SetBatchMetrics(m *BatchMetrics) { batchMetrics.Store(m) }
+
+// observeBatch records one completed burst: syscalls it took and datagrams
+// it moved. The segments-per-syscall observation is the burst mean, so one
+// sendmmsg moving 32 datagrams observes 32 while the portable loop's 32
+// one-datagram syscalls observe 1.
+//
+//diwarp:hotpath
+func observeBatch(syscalls, datagrams int64) {
+	m := batchMetrics.Load()
+	if m == nil || syscalls <= 0 {
+		return
+	}
+	if m.BatchSyscalls != nil {
+		m.BatchSyscalls.Observe(syscalls)
+	}
+	if m.SegsPerSyscall != nil {
+		m.SegsPerSyscall.Observe(datagrams / syscalls)
+	}
+}
+
+// publishFeatures reflects a freshly probed endpoint's offload verdict onto
+// the feature gauges.
+func publishFeatures(f BatchFeatures) {
+	m := batchMetrics.Load()
+	if m == nil {
+		return
+	}
+	if m.GSOEnabled != nil {
+		v := int64(0)
+		if f.GSO {
+			v = 1
+		}
+		m.GSOEnabled.Set(v)
+	}
+	if m.GROEnabled != nil {
+		v := int64(0)
+		if f.GRO {
+			v = 1
+		}
+		m.GROEnabled.Set(v)
+	}
+}

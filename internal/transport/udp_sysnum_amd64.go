@@ -1,0 +1,11 @@
+//go:build linux
+
+package transport
+
+// Batch-syscall trap numbers for linux/amd64. SYS_RECVMMSG is in the
+// frozen syscall table but SYS_SENDMMSG (added in Linux 3.0, after the
+// table froze) is not, so both live here for symmetry.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

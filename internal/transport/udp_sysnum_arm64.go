@@ -1,0 +1,9 @@
+//go:build linux
+
+package transport
+
+// Batch-syscall trap numbers for linux/arm64 (the asm-generic table).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)
