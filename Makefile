@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-portable race vet lint fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke check clean
+.PHONY: all build test test-portable race vet lint lint-concurrency fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke chaos-smoke-race check clean
 
 all: build
 
@@ -23,13 +23,20 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Custom datapath invariants (DESIGN.md §4.5): poolcheck, hotpath,
-# wirecheck, errflow — compiled into one vettool and run over the module.
+# Custom invariants compiled into one vettool: the datapath analyzers
+# (DESIGN.md §4.5: poolcheck, hotpath, wirecheck, errflow) and the
+# concurrency-invariant suite (DESIGN.md §4.10: lockorder, atomiccheck,
+# unlockcheck).
 bin/diwarp-vet: $(shell find cmd/diwarp-vet internal/analysis -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o bin/diwarp-vet ./cmd/diwarp-vet
 
 lint: bin/diwarp-vet
 	$(GO) vet -vettool=bin/diwarp-vet ./...
+
+# Just the concurrency invariants (lock-order, atomic-consistency,
+# unlock-path) — each analyzer name is also a selection flag on the vettool.
+lint-concurrency: bin/diwarp-vet
+	$(GO) vet -vettool=bin/diwarp-vet -lockorder -atomiccheck -unlockcheck ./...
 
 # Wire-format fuzzers, 10s each (separate invocations: go test allows only
 # one -fuzz target per run).
@@ -71,8 +78,14 @@ telemetry-smoke:
 chaos-smoke:
 	$(GO) test -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/
 
+# The chaos schedules under the race detector, plus the sockif
+# connection-establishment race regressions: the dynamic complement to the
+# static lint-concurrency gate.
+chaos-smoke-race:
+	$(GO) test -race -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/ ./internal/sockif/
+
 # What CI should run.
-check: build vet test test-portable race lint telemetry-smoke chaos-smoke
+check: build vet test test-portable race lint lint-concurrency telemetry-smoke chaos-smoke chaos-smoke-race
 
 clean:
 	rm -rf bin

@@ -1,20 +1,28 @@
 // Command diwarp-vet is the project's vettool: a go vet driver bundling the
-// in-tree datapath analyzers (poolcheck, hotpath, wirecheck, errflow).
+// in-tree datapath analyzers (poolcheck, hotpath, wirecheck, errflow) and
+// the concurrency-invariant suite (lockorder, atomiccheck, unlockcheck).
 //
 // Build it once, then point go vet at it:
 //
 //	go build -o bin/diwarp-vet ./cmd/diwarp-vet
 //	go vet -vettool=bin/diwarp-vet ./...
 //
-// `make lint` does exactly that. The analyzers and their contracts are
-// documented in DESIGN.md §4.5.
+// Each analyzer is also a selection flag; CI's concurrency gate runs
+//
+//	go vet -vettool=bin/diwarp-vet -lockorder -atomiccheck -unlockcheck ./...
+//
+// `make lint` runs the full suite. The analyzers and their contracts are
+// documented in DESIGN.md §4.5 (datapath) and §4.10 (concurrency).
 package main
 
 import (
+	"repro/internal/analysis/atomiccheck"
 	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/poolcheck"
 	"repro/internal/analysis/unit"
+	"repro/internal/analysis/unlockcheck"
 	"repro/internal/analysis/wirecheck"
 )
 
@@ -24,5 +32,8 @@ func main() {
 		hotpath.Analyzer,
 		wirecheck.Analyzer,
 		errflow.Analyzer,
+		lockorder.Analyzer,
+		atomiccheck.Analyzer,
+		unlockcheck.Analyzer,
 	)
 }

@@ -112,10 +112,10 @@ func runSim(loss float64, duration time.Duration, msgSize int, metricsAddr, pcap
 				return
 			}
 			if e.Ok() {
-				//diwarp:ignore errflow — soak echo is best-effort; the client's receive timeout is the failure signal
+				//diwarp:ignore errflow: soak echo is best-effort; the client's receive timeout is the failure signal
 				_ = srvQP.PostSend(0, e.Src, nio.VecOf(srvBufs[e.WRID][:e.ByteLen]))
 			}
-			//diwarp:ignore errflow — repost fails only on a closed QP, which ends the loop at the next poll
+			//diwarp:ignore errflow: repost fails only on a closed QP, which ends the loop at the next poll
 			_ = srvQP.PostRecv(e.WRID, srvBufs[e.WRID])
 		}
 	}()

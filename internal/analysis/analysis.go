@@ -14,8 +14,17 @@
 //	//diwarp:acquire            annotates a function whose []byte result is a
 //	                            pooled buffer (tracked by poolcheck like
 //	                            nio.Pool.Get)
-//	//diwarp:ignore name[,name] suppresses the named analyzers' diagnostics
-//	                            on the comment's line and the line below it
+//	//diwarp:lockafter key...   on a mutex field or package-level mutex var,
+//	                            declares the locks it is intentionally
+//	                            acquired after (consumed by lockorder)
+//	//diwarp:ignore name[,name]: reason
+//	                            suppresses the named analyzers' diagnostics
+//	                            on the comment's line and the line below it.
+//	                            The ": reason" suffix is mandatory: a
+//	                            suppression without one is inert and is
+//	                            itself reported (analyzer name
+//	                            "suppression"), so every silenced diagnostic
+//	                            in the tree carries its justification.
 package analysis
 
 import (
@@ -92,24 +101,43 @@ func parseDirective(text string) (string, bool) {
 		return "", false
 	}
 	rest := text[len(directivePrefix):]
-	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+	if i := strings.IndexAny(rest, " \t:"); i >= 0 {
 		rest = rest[:i]
 	}
 	return rest, rest != ""
 }
 
+// DirectiveArgs returns the argument text following the named //diwarp:
+// directive in the comment group ("" when the directive has no arguments),
+// and whether the directive is present at all.
+func DirectiveArgs(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c.Text); ok && d == name {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix+name)), true
+		}
+	}
+	return "", false
+}
+
 // ignoresIn collects //diwarp:ignore suppressions from a file. The returned
 // map is keyed by line number; the value is the set of analyzer names (or
 // "all") suppressed on that line. A suppression comment covers its own line
-// and, when it is the only thing on its line, the line that follows — so
-// both trailing comments and comments-above work:
+// and the line that follows — so both trailing comments and comments-above
+// work:
 //
-//	e.doBestEffort() //diwarp:ignore errflow — reason
+//	e.doBestEffort() //diwarp:ignore errflow: reason
 //
-//	//diwarp:ignore errflow — reason
+//	//diwarp:ignore errflow: reason
 //	e.doBestEffort()
-func ignoresIn(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
-	var ignores map[int]map[string]bool
+//
+// The ": reason" suffix is mandatory. A directive without it suppresses
+// NOTHING — the underlying diagnostic still fires — and its position is
+// returned in malformed so Run can report the directive itself. An inert
+// malformed suppression cannot hide a real finding behind a typo.
+func ignoresIn(fset *token.FileSet, f *ast.File) (ignores map[int]map[string]bool, malformed []token.Pos) {
 	add := func(line int, names []string) {
 		if ignores == nil {
 			ignores = make(map[int]map[string]bool)
@@ -129,23 +157,43 @@ func ignoresIn(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 			if !ok || d != "ignore" {
 				continue
 			}
-			args := strings.TrimPrefix(c.Text, directivePrefix+"ignore")
-			// Everything after the analyzer list is rationale; the list
-			// itself is the first whitespace-delimited token.
-			args = strings.TrimSpace(args)
-			names := []string{"all"}
-			if args != "" {
-				if i := strings.IndexAny(args, " \t"); i >= 0 {
-					args = args[:i]
-				}
-				names = strings.Split(args, ",")
+			names, ok := parseIgnoreArgs(strings.TrimPrefix(c.Text, directivePrefix+"ignore"))
+			if !ok {
+				malformed = append(malformed, c.Pos())
+				continue
 			}
 			pos := fset.Position(c.Pos())
 			add(pos.Line, names)
 			add(pos.Line+1, names)
 		}
 	}
-	return ignores
+	return ignores, malformed
+}
+
+// parseIgnoreArgs splits the text following "//diwarp:ignore" into the
+// suppressed analyzer names, enforcing the "name[,name]: reason" shape. An
+// empty name list (":" immediately after the directive) suppresses all
+// analyzers. ok is false when the colon or the reason is missing, or when
+// the name list is not a single comma-separated token.
+func parseIgnoreArgs(args string) (names []string, ok bool) {
+	list, reason, found := strings.Cut(args, ":")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return []string{"all"}, true
+	}
+	if strings.ContainsAny(list, " \t") {
+		return nil, false
+	}
+	for _, n := range strings.Split(list, ",") {
+		if n == "" {
+			return nil, false
+		}
+		names = append(names, n)
+	}
+	return names, true
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at pos is
@@ -163,9 +211,22 @@ func suppressed(ignores map[int]map[string]bool, fset *token.FileSet, pos token.
 // execution path shared by the vettool driver and analysistest, so fixture
 // tests exercise exactly what "go vet -vettool" runs.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
 	ignores := make(map[*ast.File]map[int]map[string]bool)
 	for _, f := range files {
-		ignores[f] = ignoresIn(fset, f)
+		ig, malformed := ignoresIn(fset, f)
+		ignores[f] = ig
+		// Malformed suppressions are findings in their own right, reported
+		// under the reserved name "suppression" (and not themselves
+		// suppressible: a directive too broken to parse cannot vouch for
+		// another one).
+		for _, pos := range malformed {
+			out = append(out, Diagnostic{
+				Pos:      pos,
+				Message:  "malformed //diwarp:ignore: want \"//diwarp:ignore analyzer[,analyzer]: reason\" (the reason is mandatory)",
+				Analyzer: "suppression",
+			})
+		}
 	}
 	fileOf := func(pos token.Pos) *ast.File {
 		for _, f := range files {
@@ -175,7 +236,6 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		}
 		return nil
 	}
-	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,

@@ -1,0 +1,254 @@
+// Package atomiccheck enforces atomic-access consistency: a struct field or
+// package-level variable that is accessed through sync/atomic anywhere in a
+// package must be accessed through sync/atomic everywhere in it. A mixed
+// plain read or write is a data race that the race detector only catches
+// when the schedule cooperates; statically there is no excuse for it.
+//
+// Taking the address of such a field outside a sync/atomic call is flagged
+// too — an escaping pointer is how plain access sneaks back in later.
+// Composite-literal keys are exempt: initialisation before the value is
+// published is the one sanctioned plain write.
+//
+// The analyzer also checks 64-bit alignment: a raw int64/uint64 field used
+// with 64-bit sync/atomic functions must sit at an 8-byte-aligned offset
+// under 32-bit struct layout rules (GOARCH=386), where int64 alignment is
+// only 4. The typed atomic.Int64/Uint64 wrappers carry their own align64
+// marker and need no check — they are also the preferred fix for every
+// diagnostic this analyzer emits.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomiccheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: "report mixed atomic/plain access and unaligned 64-bit atomics\n\n" +
+		"A field or variable accessed via sync/atomic anywhere must be accessed\n" +
+		"via sync/atomic everywhere; raw 64-bit atomic fields must be 8-byte\n" +
+		"aligned under 32-bit layout rules.",
+	Run: run,
+}
+
+// atomicTarget records one object reached by a sync/atomic address argument.
+type atomicTarget struct {
+	obj    *types.Var
+	desc   string       // "field counter.hits" / "var total"
+	recv   *types.Named // owning struct's named type, nil for vars
+	use64  bool         // reached by a 64-bit atomic op
+	anyPos token.Pos    // one representative atomic call site
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, targets: make(map[*types.Var]*atomicTarget), sanctioned: make(map[ast.Expr]bool)}
+
+	for _, f := range pass.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		c.collect(f)
+	}
+	for _, f := range pass.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		c.checkPlainUses(f)
+	}
+	c.checkAlignment()
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	targets    map[*types.Var]*atomicTarget
+	sanctioned map[ast.Expr]bool // operand exprs inside &x used by atomic calls
+}
+
+func (c *checker) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(f.FileStart).Filename, "_test.go")
+}
+
+// collect finds every sync/atomic call whose address argument names a field
+// or package-level variable, and registers that object as atomic-accessed.
+func (c *checker) collect(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		operand := ast.Unparen(addr.X)
+		obj, recv := c.resolve(operand)
+		if obj == nil {
+			return true
+		}
+		c.sanctioned[operand] = true
+		t := c.targets[obj]
+		if t == nil {
+			t = &atomicTarget{obj: obj, recv: recv, desc: describe(obj, recv), anyPos: call.Pos()}
+			c.targets[obj] = t
+		}
+		if is64(obj.Type()) {
+			t.use64 = true
+		}
+		return true
+	})
+}
+
+// resolve maps an atomic operand expression to the field or package-level
+// var it names (and the owning struct type for fields). Locals return nil:
+// a function-local value cannot be shared without escaping through a field
+// or global first, and those are the objects worth tracking.
+func (c *checker) resolve(operand ast.Expr) (*types.Var, *types.Named) {
+	switch x := operand.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v, analysis.NamedOf(s.Recv())
+			}
+		}
+		if v, ok := c.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v, nil
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[x].(*types.Var); ok && isPackageLevel(v) {
+			return v, nil
+		}
+	}
+	return nil, nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func describe(v *types.Var, recv *types.Named) string {
+	if recv != nil {
+		return "field " + recv.Obj().Name() + "." + v.Name()
+	}
+	return "var " + v.Name()
+}
+
+func is64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+// checkPlainUses reports every non-atomic use of a tracked object: reads,
+// writes, and escaping address-of. Composite-literal keys (pre-publication
+// initialisation) are exempt.
+func (c *checker) checkPlainUses(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if c.sanctioned[x] {
+				return true
+			}
+			s, ok := c.pass.TypesInfo.Selections[x]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if t := c.targets[v]; t != nil {
+				c.reportPlain(x.Sel.Pos(), t)
+			}
+		case *ast.Ident:
+			v, ok := c.pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok || !isPackageLevel(v) {
+				return true
+			}
+			t := c.targets[v]
+			if t == nil || c.sanctioned[x] {
+				return true
+			}
+			if len(stack) >= 2 {
+				if p, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && p.Sel == x {
+					return true // handled at the selector level
+				}
+			}
+			c.reportPlain(x.Pos(), t)
+		}
+		return true
+	})
+}
+
+func (c *checker) reportPlain(pos token.Pos, t *atomicTarget) {
+	c.pass.Reportf(pos,
+		"%s is accessed with sync/atomic elsewhere in this package; this plain access can race — use the atomic API (or a typed atomic.%s) for every access",
+		t.desc, typedName(t.obj.Type()))
+}
+
+func typedName(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		}
+	}
+	return "Value"
+}
+
+// checkAlignment reports raw 64-bit atomic fields whose offset under 32-bit
+// layout rules is not 8-byte aligned. Deterministic order: by field name.
+func (c *checker) checkAlignment() {
+	sizes := types.SizesFor("gc", "386")
+	var list []*atomicTarget
+	for _, t := range c.targets {
+		if t.use64 && t.recv != nil {
+			list = append(list, t)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].desc < list[j].desc })
+	for _, t := range list {
+		st, ok := t.recv.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		idx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+			if fields[i] == t.obj {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		off := sizes.Offsetsof(fields)[idx]
+		if off%8 != 0 {
+			c.pass.Reportf(t.obj.Pos(),
+				"64-bit atomic %s sits at offset %d of %s under 32-bit layout and is not 8-byte aligned; move it to the front of the struct, pad before it, or use atomic.%s",
+				t.desc, off, t.recv.Obj().Name(), typedName(t.obj.Type()))
+		}
+	}
+}

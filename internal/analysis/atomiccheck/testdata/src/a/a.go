@@ -1,0 +1,81 @@
+// Package a exercises atomiccheck: mixed atomic/plain field and var access,
+// escaping addresses, 64-bit alignment under 32-bit layout, the sanctioned
+// composite-literal initialisation, and fully-consistent usage that must
+// stay silent.
+package a
+
+import "sync/atomic"
+
+// counter mixes disciplines: hits is touched both ways, safe only
+// atomically, plain only plainly.
+type counter struct {
+	hits  int64
+	safe  int64
+	plain int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `field counter.hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `field counter.hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) leak() *int64 {
+	return &c.hits // want `field counter.hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) readSafe() int64 { return atomic.LoadInt64(&c.safe) }
+
+func (c *counter) readPlain() int64 { return c.plain }
+
+// Composite-literal initialisation happens before the value is published:
+// the one sanctioned plain write.
+func newCounter() *counter { return &counter{hits: 1} }
+
+// Suppression with a reason keeps an intentionally-unusual access quiet.
+func (c *counter) snapshotUnderLock() int64 {
+	//diwarp:ignore atomiccheck: caller holds the registry lock that freezes all writers
+	return c.hits
+}
+
+// --- package-level variables ---
+
+var total uint64
+
+func addTotal() { atomic.AddUint64(&total, 1) }
+
+func readTotal() uint64 {
+	return total // want `var total is accessed with sync/atomic elsewhere`
+}
+
+// --- 64-bit alignment under 32-bit layout rules ---
+
+type badAlign struct {
+	ready bool
+	n     int64 // want `64-bit atomic field badAlign.n sits at offset 4 of badAlign under 32-bit layout`
+}
+
+func (b *badAlign) touch() { atomic.AddInt64(&b.n, 1) }
+
+// goodAlign leads with its 64-bit word: offset 0 on every target.
+type goodAlign struct {
+	n     int64
+	ready bool
+}
+
+func (g *goodAlign) touch() { atomic.AddInt64(&g.n, 1) }
+
+// width32 is 32-bit atomic state behind a bool: no 64-bit rule applies.
+type width32 struct {
+	ready bool
+	n     uint32
+}
+
+func (w *width32) touch() { atomic.AddUint32(&w.n, 1) }

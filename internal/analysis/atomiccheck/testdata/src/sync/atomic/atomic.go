@@ -1,0 +1,25 @@
+// Package atomic is a fixture stand-in for sync/atomic: the function-style
+// API surface atomiccheck tracks (the typed wrappers need no checking and
+// are omitted).
+package atomic
+
+func AddInt32(addr *int32, delta int32) (new int32)     { *addr += delta; return *addr }
+func AddInt64(addr *int64, delta int64) (new int64)     { *addr += delta; return *addr }
+func AddUint32(addr *uint32, delta uint32) (new uint32) { *addr += delta; return *addr }
+func AddUint64(addr *uint64, delta uint64) (new uint64) { *addr += delta; return *addr }
+
+func LoadInt64(addr *int64) int64    { return *addr }
+func LoadUint32(addr *uint32) uint32 { return *addr }
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+func StoreInt64(addr *int64, val int64)    { *addr = val }
+func StoreUint32(addr *uint32, val uint32) { *addr = val }
+func StoreUint64(addr *uint64, val uint64) { *addr = val }
+
+func CompareAndSwapUint64(addr *uint64, old, new uint64) (swapped bool) {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}

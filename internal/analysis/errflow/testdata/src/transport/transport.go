@@ -6,11 +6,11 @@ package transport
 
 type Conn struct{}
 
-func (Conn) Send(b []byte) error          { return nil }
-func (Conn) Read(b []byte) (int, error)   { return 0, nil }
-func (Conn) Close() error                 { return nil }
-func (Conn) Len() int                     { return 0 }
-func (Conn) Lookup(k int) (string, bool)  { return "", false }
+func (Conn) Send(b []byte) error         { return nil }
+func (Conn) Read(b []byte) (int, error)  { return 0, nil }
+func (Conn) Close() error                { return nil }
+func (Conn) Len() int                    { return 0 }
+func (Conn) Lookup(k int) (string, bool) { return "", false }
 
 func bad(c Conn, b []byte) {
 	c.Send(b)         // want `error result of c.Send is discarded`
@@ -29,10 +29,10 @@ func good(c Conn, b []byte) error {
 		return err
 	}
 	_ = n
-	c.Len()              // no error result
-	v, _ := c.Lookup(1)  // comma-ok, not an error
+	c.Len()             // no error result
+	v, _ := c.Lookup(1) // comma-ok, not an error
 	_ = v
-	//diwarp:ignore errflow — fixture: reviewed best-effort send
+	//diwarp:ignore errflow: fixture: reviewed best-effort send
 	c.Send(b)
 	return nil
 }

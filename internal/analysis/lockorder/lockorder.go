@@ -1,0 +1,428 @@
+// Package lockorder implements a lockdep-style lock-acquisition-order
+// analyzer: it builds a per-package graph of which lock classes are acquired
+// while which others are held and reports edges that complete a cycle —
+// the static shadow of an AB/BA deadlock.
+//
+// Locks are tracked by CLASS, not instance: a sync.Mutex or sync.RWMutex
+// struct field is the class "Type.field"; a package-level mutex variable is
+// its own class named by the variable. Acquiring b.mu while holding a.mu
+// (both *Endpoint) is a self-edge on the class and is reported too — two
+// instances of one class need an explicit order (shard index, address
+// comparison, ...) that a per-class graph cannot see.
+//
+// Edges are observed two ways:
+//
+//   - directly: a Lock/RLock call while another lock is held earlier in the
+//     same function body (a linear source-order approximation of control
+//     flow — branches are not joined, which trades a small false-positive
+//     surface for zero fixpoint machinery);
+//   - one call deep: calling a same-package function that acquires K while
+//     holding H records H → K, which is how the classic "helper relocks"
+//     deadlock hides from per-function analysis.
+//
+// Intended order is declared at the lock's declaration:
+//
+//	// claimMu serialises shard claim hand-off.
+//	//diwarp:lockafter Network.mu
+//	claimMu sync.Mutex
+//
+// declares Network.mu → claimMu. Declared edges join the graph (so a cycle
+// through intent is still a cycle) and observed edges that invert a declared
+// edge are reported even when no full cycle is visible yet.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "report lock-acquisition-order cycles and //diwarp:lockafter violations\n\n" +
+		"Builds the package's lock-class acquisition graph (direct acquisitions\n" +
+		"plus same-package calls one level deep) and reports edges completing a\n" +
+		"cycle or inverting a declared //diwarp:lockafter order.",
+	Run: run,
+}
+
+// edge is one observed "to acquired while from held" event, positioned at
+// the acquisition that created it.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	// viaCall names the same-package callee that performs the acquisition
+	// when the edge was inferred one call deep ("" for direct edges).
+	viaCall string
+	// fromText/toText are the concrete receiver expressions, used to
+	// discriminate self-edges (a.mu then b.mu) from re-entry on the same
+	// expression (left to unlockcheck's double-lock check).
+	fromText, toText string
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		acquires: make(map[*types.Func]map[string]bool),
+		declared: make(map[[2]string]bool),
+	}
+
+	// Pass 0: declared order from //diwarp:lockafter annotations on mutex
+	// fields and package-level mutex vars.
+	for _, f := range pass.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		c.collectDeclared(f)
+	}
+
+	// Pass 1: per-function acquisition summaries, for the one-call-deep
+	// edges of pass 2. FuncLit bodies are excluded: a closure's locks are
+	// taken when the closure runs, not when the function that built it does.
+	for _, f := range pass.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.acquires[fn] = c.summarize(fd.Body)
+				}
+			}
+		}
+	}
+
+	// Pass 2: walk every body (and every FuncLit as its own body) tracking
+	// the held set in source order, recording edges.
+	for _, f := range pass.Files {
+		if c.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.walkBody(fd.Body)
+			}
+		}
+	}
+
+	c.report()
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	acquires map[*types.Func]map[string]bool
+	declared map[[2]string]bool // [from, to] -> declared "from before to"
+	edges    []edge
+}
+
+func (c *checker) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(f.FileStart).Filename, "_test.go")
+}
+
+// collectDeclared reads //diwarp:lockafter annotations. On a struct field
+// the annotated lock's class is "Type.field"; on a package-level var it is
+// the var name. Each argument K declares the edge K → annotated.
+func (c *checker) collectDeclared(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			switch sp := spec.(type) {
+			case *ast.ValueSpec: // package-level vars
+				doc := sp.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if args, ok := analysis.DirectiveArgs(doc, "lockafter"); ok {
+					for _, name := range sp.Names {
+						c.declareAfter(name.Name, args)
+					}
+				}
+			case *ast.TypeSpec: // struct fields
+				st, ok := sp.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					args, ok := analysis.DirectiveArgs(field.Doc, "lockafter")
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						c.declareAfter(sp.Name.Name+"."+name.Name, args)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) declareAfter(class, args string) {
+	for _, k := range strings.Fields(args) {
+		c.declared[[2]string{k, class}] = true
+	}
+}
+
+// mutexOp classifies a call as a lock-class acquisition or release.
+// acquired=false release=false means the call is not a mutex operation.
+func (c *checker) mutexOp(call *ast.CallExpr) (class, text string, acquire, release bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false, false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", "", false, false
+	}
+	if analysis.ReceiverPkgPath(c.pass.TypesInfo, fun) != "sync" {
+		return "", "", false, false
+	}
+	recv := c.pass.TypesInfo.Selections[fun].Recv()
+	if n := analysis.NamedOf(recv); n == nil || (n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		// sync.Map, sync.Once, ... or an embedding type: for an embedded
+		// mutex the receiver is the outer type, whose class is the type
+		// itself (every instance shares the embedded lock's class).
+		if n != nil {
+			return n.Obj().Name() + ".Mutex", types.ExprString(fun.X), acquire, release
+		}
+		return "", "", false, false
+	}
+	return c.classOf(fun.X), types.ExprString(fun.X), acquire, release
+}
+
+// classOf names the lock class of a mutex-valued expression: "Type.field"
+// for a struct field (however the instance is reached — e.mu, n.queues[i].mu
+// and q.mu are all one class), the variable name for a package-level or
+// local mutex, and the raw expression text as a last resort.
+func (c *checker) classOf(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if n := analysis.NamedOf(s.Recv()); n != nil {
+				return n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		if obj, ok := c.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return obj.Name() // pkg-qualified package-level var
+		}
+	case *ast.Ident:
+		if obj, ok := c.pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return obj.Name()
+		}
+	}
+	return types.ExprString(e)
+}
+
+// summarize returns the lock classes a body acquires directly (deferred
+// calls and closure bodies excluded).
+func (c *checker) summarize(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	deferred := deferredCalls(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && !deferred[call] {
+			if class, _, acquire, _ := c.mutexOp(call); acquire {
+				out[class] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferredCalls collects the call expressions that are the direct operand
+// of a defer statement, so the linear walk does not treat "defer
+// mu.Unlock()" as a release at its source position.
+func deferredCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out[d.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// walkBody tracks the held multiset through one body in source order and
+// records acquisition edges. Closures found along the way are walked as
+// independent bodies with an empty held set.
+func (c *checker) walkBody(body *ast.BlockStmt) {
+	deferred := deferredCalls(body)
+	held := make(map[string]int)        // class -> acquisition depth
+	heldText := make(map[string]string) // class -> last receiver expression
+	var lits []*ast.FuncLit
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		class, text, acquire, release := c.mutexOp(call)
+		switch {
+		case acquire && !deferred[call]:
+			for h, depth := range held {
+				if depth <= 0 {
+					continue
+				}
+				if h == class && heldText[h] == text {
+					continue // re-entry on one expression: unlockcheck's double-lock
+				}
+				c.edges = append(c.edges, edge{
+					from: h, to: class, pos: call.Pos(),
+					fromText: heldText[h], toText: text,
+				})
+			}
+			held[class]++
+			heldText[class] = text
+		case release && !deferred[call]:
+			if held[class] > 0 {
+				held[class]--
+			}
+		case !acquire && !release:
+			// One call deep: a same-package callee that acquires K while
+			// we hold H contributes H → K.
+			fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+			summary, ok := c.acquires[fn]
+			if !ok {
+				return true
+			}
+			for h, depth := range held {
+				if depth <= 0 {
+					continue
+				}
+				for k := range summary {
+					if k == h {
+						continue // instance unknown through the call
+					}
+					c.edges = append(c.edges, edge{
+						from: h, to: k, pos: call.Pos(),
+						viaCall: fn.Name(), fromText: heldText[h],
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, lit := range lits {
+		c.walkBody(lit.Body)
+	}
+}
+
+// report runs the graph checks: declared-order inversions, self-edges on a
+// class, and cycles through the combined observed+declared graph. Each
+// (from, to) class pair is reported at most once, at its first observation.
+func (c *checker) report() {
+	adj := make(map[string]map[string]bool)
+	addAdj := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = make(map[string]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, e := range c.edges {
+		if e.from != e.to {
+			addAdj(e.from, e.to)
+		}
+	}
+	for d := range c.declared {
+		addAdj(d[0], d[1])
+	}
+
+	seen := make(map[[2]string]bool)
+	for _, e := range c.edges {
+		key := [2]string{e.from, e.to}
+		if seen[key] {
+			continue
+		}
+		via := ""
+		if e.viaCall != "" {
+			via = " (via call to " + e.viaCall + ")"
+		}
+		switch {
+		case e.from == e.to:
+			seen[key] = true
+			c.pass.Reportf(e.pos,
+				"%s acquired%s while another %s (%s) is held; two instances of one lock class need an explicit acquisition order",
+				e.to, via, e.from, e.fromText)
+		case c.declared[[2]string{e.to, e.from}]:
+			seen[key] = true
+			c.pass.Reportf(e.pos,
+				"%s acquired%s while holding %s inverts the declared lock order (%s is //diwarp:lockafter %s)",
+				e.to, via, e.from, e.from, e.to)
+		case c.declared[key]:
+			// Sanctioned by annotation; contributes to the graph only.
+		default:
+			if path := pathBetween(adj, e.to, e.from); path != nil {
+				seen[key] = true
+				c.pass.Reportf(e.pos,
+					"%s acquired%s while holding %s completes a lock-order cycle: %s",
+					e.to, via, e.from, renderCycle(e.from, path))
+			}
+		}
+	}
+}
+
+// pathBetween returns a shortest node path from src to dst in adj (both
+// inclusive), or nil. Deterministic: neighbors are visited in sorted order.
+func pathBetween(adj map[string]map[string]bool, src, dst string) []string {
+	parent := map[string]string{src: ""}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == dst {
+			var path []string
+			for at := dst; at != ""; at = parent[at] {
+				path = append([]string{at}, path...)
+				if at == src {
+					break
+				}
+			}
+			return path
+		}
+		next := make([]string, 0, len(adj[n]))
+		for m := range adj[n] {
+			if _, ok := parent[m]; !ok {
+				parent[m] = n
+				next = append(next, m)
+			}
+		}
+		sort.Strings(next)
+		queue = append(queue, next...)
+	}
+	return nil
+}
+
+// renderCycle renders from → path[0] → ... → path[len-1] (= from again when
+// the path closes the cycle) as an arrow chain.
+func renderCycle(from string, path []string) string {
+	var b strings.Builder
+	b.WriteString(from)
+	for _, n := range path {
+		b.WriteString(" → ")
+		b.WriteString(n)
+	}
+	return b.String()
+}

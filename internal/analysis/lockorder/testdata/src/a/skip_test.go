@@ -1,0 +1,11 @@
+package a
+
+// Test files are exempt: tests lock in deliberately odd orders to provoke
+// code under test, and lockorder must not force annotations there. This
+// would be a reported AB/BA cycle against abForward's order in a.go.
+func testOnlyBackward(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

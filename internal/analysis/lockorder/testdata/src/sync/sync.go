@@ -1,0 +1,18 @@
+// Package sync is a fixture stand-in for the real sync package: just the
+// mutex surface lockorder (and unlockcheck) track, so fixtures type-check
+// without the standard library.
+package sync
+
+// Mutex mirrors sync.Mutex's locking surface.
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+// RWMutex mirrors sync.RWMutex's locking surface.
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

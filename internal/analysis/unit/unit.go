@@ -60,6 +60,15 @@ type Config struct {
 }
 
 // Main is the entry point for a vettool binary built on this driver.
+//
+// Each bundled analyzer contributes one boolean selection flag named after
+// it, mirroring go vet's own analyzer selection: with no selection flag set
+// every analyzer runs; setting any subset runs exactly that subset, so
+//
+//	go vet -vettool=bin/diwarp-vet -lockorder -atomiccheck -unlockcheck ./...
+//
+// runs only the concurrency suite. The flags are advertised through the
+// -flags JSON protocol, which is how cmd/go learns it may pass them through.
 func Main(analyzers ...*analysis.Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
@@ -67,30 +76,69 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the go command)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = flag.Bool(a.Name, false, "run only the named analyzers: "+doc)
+	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s unit.cfg\n\n%s is a go vet tool; invoke it via:\n\tgo vet -vettool=$(which %s) ./...\n\nAnalyzers:\n", progname, progname, progname)
+		fmt.Fprintf(os.Stderr, "usage: %s unit.cfg\n\n%s is a go vet tool; invoke it via:\n\tgo vet -vettool=$(which %s) ./...\n\nAnalyzers (each is also a selection flag):\n", progname, progname, progname)
 		for _, a := range analyzers {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
-			fmt.Fprintf(os.Stderr, "\t%-10s %s\n", a.Name, doc)
+			fmt.Fprintf(os.Stderr, "\t-%-12s %s\n", a.Name, doc)
 		}
 		os.Exit(2)
 	}
 	flag.Parse()
 
 	if *printflags {
-		// No analyzer-specific flags: an empty JSON list tells cmd/go there
-		// is nothing extra to pass through.
-		fmt.Println("[]")
+		// The JSON shape cmd/go's vet driver expects: one entry per flag it
+		// may pass through to the tool.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var fs []jsonFlag
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fs = append(fs, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+		}
+		data, err := json.Marshal(fs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
 		os.Exit(0)
+	}
+
+	run := analyzers
+	if anySelected(selected) {
+		run = nil
+		for _, a := range analyzers {
+			if *selected[a.Name] {
+				run = append(run, a)
+			}
+		}
 	}
 
 	args := flag.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	if err := Run(args[0], analyzers); err != nil {
+	if err := Run(args[0], run); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// anySelected reports whether at least one analyzer selection flag was set.
+func anySelected(selected map[string]*bool) bool {
+	for _, v := range selected {
+		if *v {
+			return true
+		}
+	}
+	return false
 }
 
 // versionFlag implements the -V=full fingerprint protocol: the go command

@@ -1,0 +1,223 @@
+// Package a exercises unlockcheck: leaks on early returns, panics, and
+// fall-through; double locks, upgrades, and kind mismatches; and every
+// convention that must stay silent — deferred unlocks, symmetric explicit
+// unlocks (the hot-path convention), caller-held functions, lock hand-off
+// helpers, boolean-guarded conditional unlocks, and process terminators.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+// --- leaks ---
+
+func leakOnEarlyReturn(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		return -1 // want `returns while b.mu is still held`
+	}
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+func leakOnPanic(b *box, bad bool) {
+	b.mu.Lock()
+	if bad {
+		panic("corrupt") // want `panics while b.mu is still held`
+	}
+	b.mu.Unlock()
+}
+
+func leakOnFallThrough(b *box, fast bool) {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		return
+	}
+} // want `function returns while b.mu is still held`
+
+func leakInLoop(b *box, ns []int) int {
+	for _, n := range ns {
+		b.mu.Lock()
+		if n < 0 {
+			return n // want `returns while b.mu is still held`
+		}
+		b.val += n
+		b.mu.Unlock()
+	}
+	return b.val
+}
+
+// --- single-function discipline bugs ---
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want `b.mu.Lock\(\) while b.mu is already locked`
+	b.mu.Unlock()
+}
+
+func upgrade(b *box) {
+	b.rw.RLock()
+	b.rw.Lock() // want `b.rw.Lock\(\) upgrades the read lock`
+	b.rw.Unlock()
+	b.rw.RUnlock()
+}
+
+func readUnderWrite(b *box) {
+	b.rw.Lock()
+	b.rw.RLock() // want `b.rw.RLock\(\) while b.rw is write-locked`
+	b.rw.RUnlock()
+	b.rw.Unlock()
+}
+
+func wrongUnlock(b *box) {
+	b.rw.Lock()
+	b.rw.RUnlock() // want `b.rw.RUnlock\(\) releases the write lock`
+}
+
+func wrongRUnlock(b *box) {
+	b.rw.RLock()
+	b.rw.Unlock() // want `b.rw.Unlock\(\) releases the read lock`
+}
+
+// --- conventions that stay silent ---
+
+// deferred release covers every exit.
+func deferOK(b *box, fail bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return b.val
+}
+
+// the hot-path convention: explicit, symmetric unlock on every path.
+func explicitOK(b *box, fast bool) int {
+	b.mu.Lock()
+	if fast {
+		v := b.val
+		b.mu.Unlock()
+		return v
+	}
+	b.val++
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+// a deferred closure releasing the lock counts as deferred.
+func deferClosureOK(b *box, fail bool) int {
+	b.mu.Lock()
+	defer func() {
+		b.val = 0
+		b.mu.Unlock()
+	}()
+	if fail {
+		return -1
+	}
+	return b.val
+}
+
+// caller-held: the unlock with no matching lock is the "call me locked"
+// convention, not a bug.
+func drainLocked(b *box) {
+	b.val = 0
+	b.mu.Unlock()
+}
+
+// hand-off: no release anywhere in the body means ownership leaves the
+// function on purpose (lock helper / transferred to a goroutine).
+func acquire(b *box) {
+	b.mu.Lock()
+	b.val++
+}
+
+// boolean-guarded unlock: the lock is only maybe-held afterwards, and
+// maybe is never reported.
+func guardedOK(b *box, early bool) {
+	b.mu.Lock()
+	locked := true
+	if early {
+		b.mu.Unlock()
+		locked = false
+	}
+	b.val++
+	if locked {
+		b.mu.Unlock()
+	}
+}
+
+// RLock nested under RLock is shared acquisition, admitted here.
+func rlockTwice(b *box) {
+	b.rw.RLock()
+	b.rw.RLock()
+	b.rw.RUnlock()
+	b.rw.RUnlock()
+}
+
+// a path into a process terminator does not leak.
+func exitOK(b *box, bad bool) {
+	b.mu.Lock()
+	if bad {
+		os.Exit(2)
+	}
+	b.mu.Unlock()
+}
+
+// switch with every live clause releasing merges clean.
+func switchOK(b *box, n int) {
+	b.mu.Lock()
+	switch n {
+	case 0:
+		b.mu.Unlock()
+	default:
+		b.val = n
+		b.mu.Unlock()
+	}
+}
+
+// select: exactly one ready clause runs; both release.
+func selectOK(b *box, ch chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-ch:
+		b.val = v
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+	}
+}
+
+// a closure is its own locking scope: the inner leak is reported against
+// the closure, not the enclosing function.
+func closureScope(b *box, fail bool) func() int {
+	return func() int {
+		b.mu.Lock()
+		if fail {
+			return -1 // want `returns while b.mu is still held`
+		}
+		v := b.val
+		b.mu.Unlock()
+		return v
+	}
+}
+
+// suppression with a reason silences an intentional hold-across-return.
+func handoffSuppressed(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		//diwarp:ignore unlockcheck: error path hands the locked box to the reaper goroutine
+		return -1
+	}
+	b.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,505 @@
+// Package unlockcheck verifies that every Lock/RLock is released on every
+// path out of the function that took it — early returns, panics, and normal
+// fall-through alike — whether the release is deferred or explicit. The
+// datapath's hot functions deliberately use explicit unlocks (defer costs on
+// the fast path), and that convention is exactly what this analyzer audits:
+// it is path-sensitive, so symmetric explicit unlocking stays silent and
+// only the forgotten error path fires.
+//
+// Locks are tracked per receiver EXPRESSION ("e.mu", "q.pending.mu") with a
+// definite/maybe lattice: a lock held on every incoming path is definite, a
+// lock held on only some is maybe, and only definite leaks are reported —
+// the "locked" boolean-guard idiom and conditional lock hand-off never
+// false-positive. Three conventions are special-cased into silence:
+//
+//   - caller-held: an unlock with no matching lock in the function is the
+//     "must be called locked" convention, not a bug;
+//   - hand-off: a function that locks and has NO release of that lock
+//     anywhere in its body (a lock helper, or ownership transferred to a
+//     goroutine/closure) is intentional;
+//   - terminators: os.Exit, log.Fatal*, runtime.Goexit end the process or
+//     goroutine; paths into them do not leak.
+//
+// Double-acquisition through one expression (self-deadlock), RWMutex
+// upgrades, and Unlock/RUnlock kind mismatches are reported as well — those
+// are the lock-discipline bugs that live inside a single function, where
+// lockorder's cross-function graph cannot see them.
+package unlockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the unlockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unlockcheck",
+	Doc: "report lock/unlock path asymmetry: leaks on early returns and panics,\n" +
+		"double locks, RWMutex upgrades, and Unlock/RUnlock kind mismatches\n\n" +
+		"Path-sensitive per-function dataflow honouring both the deferred and\n" +
+		"the hot-path explicit-unlock conventions.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkBody(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// lockState is the per-expression dataflow fact.
+type lockState struct {
+	read     bool // held via RLock
+	pos      token.Pos
+	definite bool // held on every path reaching here
+	deferred bool // a deferred call releases it
+}
+
+type state map[string]lockState
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// checkBody analyzes one function body, then recurses into every closure it
+// contains — each closure is its own locking scope (it runs on its own
+// schedule), always analyzed with an empty incoming state.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	w := &walker{
+		c:        c,
+		releases: releaseKeys(c, body),
+		state:    make(state),
+	}
+	w.stmtList(body.List)
+	if !w.terminated {
+		w.reportHeld(body.Rbrace, "function returns")
+	}
+
+	for _, lit := range topLevelFuncLits(body) {
+		c.checkBody(lit.Body)
+	}
+}
+
+// releaseKeys collects the lock expressions the body releases anywhere
+// outside closures. A lock with no release key is a hand-off and is never
+// reported as leaked.
+func releaseKeys(c *checker, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, _, _, release := c.mutexOp(call); release {
+				out[key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// topLevelFuncLits returns the closures of body that are not nested inside
+// another closure (recursion reaches those).
+func topLevelFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp classifies a call as a lock or unlock of a sync mutex, keyed by
+// the receiver expression's source text.
+func (c *checker) mutexOp(call *ast.CallExpr) (key string, read, acquire, release bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false, false
+	}
+	switch fun.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+		release = true
+	case "RUnlock":
+		release, read = true, true
+	default:
+		return "", false, false, false
+	}
+	if analysis.ReceiverPkgPath(c.pass.TypesInfo, fun) != "sync" {
+		return "", false, false, false
+	}
+	return types.ExprString(fun.X), read, acquire, release
+}
+
+// walker carries the dataflow through one body.
+type walker struct {
+	c          *checker
+	releases   map[string]bool
+	state      state
+	terminated bool
+}
+
+func (w *walker) line(p token.Pos) int { return w.c.pass.Fset.Position(p).Line }
+
+// reportHeld reports every definite, non-deferred, releasable lock still
+// held when control leaves through the given exit.
+func (w *walker) reportHeld(exit token.Pos, how string) {
+	var keys []string
+	for k, st := range w.state {
+		if st.definite && !st.deferred && w.releases[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.c.pass.Reportf(exit, "%s while %s is still held (locked at line %d); unlock on this path or defer the unlock",
+			how, k, w.line(w.state[k].pos))
+	}
+}
+
+func (w *walker) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		if w.terminated {
+			return // unreachable
+		}
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		w.exprStmt(st)
+
+	case *ast.DeferStmt:
+		w.deferStmt(st)
+
+	case *ast.ReturnStmt:
+		w.reportHeld(st.Pos(), "returns")
+		w.terminated = true
+
+	case *ast.BlockStmt:
+		w.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		thenW := w.fork()
+		thenW.stmt(st.Body)
+		elseW := w.fork()
+		if st.Else != nil {
+			elseW.stmt(st.Else)
+		}
+		w.join(thenW, elseW)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		bodyW := w.fork()
+		bodyW.stmt(st.Body)
+		if st.Post != nil && !bodyW.terminated {
+			bodyW.stmt(st.Post)
+		}
+		w.joinLoop(bodyW, st.Cond == nil)
+
+	case *ast.RangeStmt:
+		bodyW := w.fork()
+		bodyW.stmt(st.Body)
+		w.joinLoop(bodyW, false)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.joinClauses(st.Body, hasDefaultClause(st.Body))
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.joinClauses(st.Body, hasDefaultClause(st.Body))
+
+	case *ast.SelectStmt:
+		// A select always executes exactly one ready clause; with no
+		// default it blocks until one is.
+		w.joinClauses(st.Body, true)
+
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this linear path; the loop join already
+		// demotes everything the body touched to maybe, so ending the path
+		// silently is the conservative move.
+		w.terminated = true
+
+	case *ast.GoStmt:
+		// The goroutine runs on its own schedule; its body was collected as
+		// a closure (or is a plain call) and is not this path's locking.
+	}
+}
+
+// exprStmt handles the statement forms that matter: lock operations, panic,
+// and process/goroutine terminators.
+func (w *walker) exprStmt(st *ast.ExprStmt) {
+	call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if key, read, acquire, release := w.c.mutexOp(call); acquire || release {
+		if acquire {
+			w.lock(call, key, read)
+		} else {
+			w.unlock(call, key, read)
+		}
+		return
+	}
+	if analysis.IsBuiltinCall(w.c.pass.TypesInfo, call, "panic") {
+		w.reportHeldPanic(call.Pos())
+		w.terminated = true
+		return
+	}
+	if isTerminator(w.c.pass.TypesInfo, call) {
+		w.terminated = true
+	}
+}
+
+func (w *walker) reportHeldPanic(pos token.Pos) {
+	w.reportHeld(pos, "panics")
+}
+
+func (w *walker) lock(call *ast.CallExpr, key string, read bool) {
+	if st, held := w.state[key]; held && st.definite {
+		switch {
+		case !st.read && !read:
+			w.c.pass.Reportf(call.Pos(), "%s.Lock() while %s is already locked (line %d); this deadlocks", key, key, w.line(st.pos))
+		case st.read && !read:
+			w.c.pass.Reportf(call.Pos(), "%s.Lock() upgrades the read lock taken at line %d; RWMutex upgrades deadlock", key, w.line(st.pos))
+		case !st.read && read:
+			w.c.pass.Reportf(call.Pos(), "%s.RLock() while %s is write-locked (line %d); this deadlocks", key, key, w.line(st.pos))
+			// read-after-read is admitted: shared acquisition is re-entrant
+			// unless a writer wedges in between, which is lockorder's beat.
+		}
+	}
+	w.state[key] = lockState{read: read, pos: call.Pos(), definite: true}
+}
+
+func (w *walker) unlock(call *ast.CallExpr, key string, read bool) {
+	st, held := w.state[key]
+	if !held {
+		return // caller-held convention
+	}
+	if st.definite && st.read != read {
+		if read {
+			w.c.pass.Reportf(call.Pos(), "%s.RUnlock() releases the write lock taken at line %d; use Unlock", key, w.line(st.pos))
+		} else {
+			w.c.pass.Reportf(call.Pos(), "%s.Unlock() releases the read lock taken at line %d; use RUnlock", key, w.line(st.pos))
+		}
+	}
+	delete(w.state, key)
+}
+
+// deferStmt records deferred releases: both the direct "defer mu.Unlock()"
+// and releases inside a deferred closure cover every path from here on.
+func (w *walker) deferStmt(st *ast.DeferStmt) {
+	mark := func(key string) {
+		if s, held := w.state[key]; held {
+			s.deferred = true
+			w.state[key] = s
+		}
+	}
+	if key, _, _, release := w.c.mutexOp(st.Call); release {
+		mark(key)
+		return
+	}
+	if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, _, _, release := w.c.mutexOp(call); release {
+					mark(key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fork copies the walker for one branch.
+func (w *walker) fork() *walker {
+	return &walker{c: w.c, releases: w.releases, state: w.state.clone()}
+}
+
+// join merges two branch outcomes back into w. A lock is definite after the
+// join only when it is definitely held in every branch control can fall out
+// of; held-somewhere becomes maybe (never reported, still tracked for kind
+// mismatches that would be wrong on any path).
+func (w *walker) join(branches ...*walker) {
+	var live []*walker
+	for _, b := range branches {
+		if !b.terminated {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		w.terminated = true
+		w.state = make(state)
+		return
+	}
+	merged := make(state)
+	union := make(map[string]bool)
+	for _, b := range live {
+		for k := range b.state {
+			union[k] = true
+		}
+	}
+	for k := range union {
+		var st lockState
+		inAll := true
+		first := true
+		for _, b := range live {
+			bs, ok := b.state[k]
+			if !ok {
+				inAll = false
+				continue
+			}
+			if first {
+				st = bs
+				first = false
+			} else {
+				st.deferred = st.deferred && bs.deferred
+				st.definite = st.definite && bs.definite
+				if bs.pos < st.pos {
+					st.pos = bs.pos
+				}
+			}
+		}
+		st.definite = st.definite && inAll
+		merged[k] = st
+	}
+	w.state = merged
+}
+
+// joinLoop merges a loop body walked once: anything whose state the body
+// changed is demoted to maybe (the body may run zero or many times). An
+// infinite loop (for {}) with a terminated body ends the outer path too.
+func (w *walker) joinLoop(body *walker, infinite bool) {
+	if infinite && body.terminated {
+		// for {} with every path inside returning/terminating: nothing
+		// falls out of the loop.
+		w.terminated = true
+		w.state = make(state)
+		return
+	}
+	if body.terminated {
+		return // body always exits the function: loop acts as zero-or-exit
+	}
+	union := make(map[string]bool)
+	for k := range w.state {
+		union[k] = true
+	}
+	for k := range body.state {
+		union[k] = true
+	}
+	for k := range union {
+		before, inBefore := w.state[k]
+		after, inAfter := body.state[k]
+		switch {
+		case inBefore && inAfter:
+			if before != after {
+				after.definite = false
+				after.deferred = before.deferred && after.deferred
+			}
+			w.state[k] = after
+		case inAfter: // locked inside the body only: maybe held after
+			after.definite = false
+			w.state[k] = after
+		case inBefore: // released inside the body: maybe released
+			before.definite = false
+			w.state[k] = before
+		}
+	}
+}
+
+// joinClauses walks each case clause of a switch/select body from the same
+// incoming state and joins the survivors; when no default exists the
+// fall-past-every-case path (incoming state unchanged) joins too.
+func (w *walker) joinClauses(body *ast.BlockStmt, exhaustive bool) {
+	var branches []*walker
+	for _, cl := range body.List {
+		b := w.fork()
+		switch clause := cl.(type) {
+		case *ast.CaseClause:
+			b.stmtList(clause.Body)
+		case *ast.CommClause:
+			if clause.Comm != nil {
+				b.stmt(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+		}
+		branches = append(branches, b)
+	}
+	if !exhaustive || len(branches) == 0 {
+		branches = append(branches, w.fork())
+	}
+	w.join(branches...)
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isTerminator reports calls that never return control to this path.
+func isTerminator(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package unlockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unlockcheck"
+)
+
+func TestUnlockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", unlockcheck.Analyzer, "a")
+}

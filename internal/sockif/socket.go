@@ -148,7 +148,7 @@ func (s *Socket) initUD(ep transport.Datagram) error {
 	for i := range s.slab {
 		s.slab[i] = make([]byte, cfg.RecvBufSize)
 		if err := qp.PostRecv(uint64(i), s.slab[i]); err != nil {
-			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; PostRecv's error is the one to report
+			qp.Close() //diwarp:ignore errflow: error-path cleanup of a QP never exposed; PostRecv's error is the one to report
 			return err
 		}
 	}
@@ -162,8 +162,8 @@ func (s *Socket) initRCAccept(stream transport.Stream) error {
 
 func (s *Socket) initRC(stream transport.Stream, initiator bool) error {
 	cfg := s.ifc.cfg
-	s.sendCQ = iwarp.NewCQ(cfg.RecvBufCount * 4)
-	s.recvCQ = iwarp.NewCQ(cfg.RecvBufCount * 4)
+	sendCQ := iwarp.NewCQ(cfg.RecvBufCount * 4)
+	recvCQ := iwarp.NewCQ(cfg.RecvBufCount * 4)
 	// With the stream Write-Record profile, both ends advertise their ring
 	// in the MPA private data — the buffer exchange costs no extra round
 	// trip (§V.A: a full protocol would "enable more efficient use of RDMA
@@ -183,32 +183,44 @@ func (s *Socket) initRC(stream transport.Stream, initiator bool) error {
 	// (TCP window backpressure), not a fatal RNR.
 	rcCfg := iwarp.RCConfig{RecvDepth: cfg.RecvBufCount + 1, BlockOnRNR: true}
 	if initiator {
-		qp, peerPriv, err = iwarp.ConnectRC(stream, s.ifc.pd, s.ifc.tbl, s.sendCQ, s.recvCQ, rcCfg, private)
+		qp, peerPriv, err = iwarp.ConnectRC(stream, s.ifc.pd, s.ifc.tbl, sendCQ, recvCQ, rcCfg, private)
 	} else {
-		qp, peerPriv, err = iwarp.AcceptRC(stream, s.ifc.pd, s.ifc.tbl, s.sendCQ, s.recvCQ, rcCfg, private)
+		qp, peerPriv, err = iwarp.AcceptRC(stream, s.ifc.pd, s.ifc.tbl, sendCQ, recvCQ, rcCfg, private)
 	}
 	if err != nil {
 		return err
 	}
+	var remote ringInfo
 	if cfg.StreamWriteRecord {
 		ri, ok := parseRingAdvert(peerPriv)
 		if !ok {
-			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; the handshake failure is the error to report
+			qp.Close() //diwarp:ignore errflow: error-path cleanup of a QP never exposed; the handshake failure is the error to report
 			return fmt.Errorf("%w: peer did not advertise a Write-Record ring", ErrBadSocket)
 		}
-		s.remoteRing = ri
+		remote = ri
+	}
+	slab := make([][]byte, cfg.RecvBufCount)
+	for i := range slab {
+		slab[i] = make([]byte, cfg.RecvBufSize)
+		if err := qp.PostRecv(uint64(i), slab[i]); err != nil {
+			qp.Close() //diwarp:ignore errflow: error-path cleanup of a QP never exposed; PostRecv's error is the one to report
+			return err
+		}
+	}
+	// Publish the connection state under s.mu. A Connect-time initRC runs on
+	// a socket that is already in the interface's fd table (Socket returned
+	// it before the dial), so monitoring reads — Peer, Footprint, a scrape
+	// walking Interface.Footprint — and data-path polls race this point.
+	s.mu.Lock()
+	s.sendCQ, s.recvCQ = sendCQ, recvCQ
+	if cfg.StreamWriteRecord {
+		s.remoteRing = remote
 		s.wrMode = true
 	}
 	s.rcqp = qp
 	s.peer = stream.RemoteAddr()
-	s.slab = make([][]byte, cfg.RecvBufCount)
-	for i := range s.slab {
-		s.slab[i] = make([]byte, cfg.RecvBufSize)
-		if err := qp.PostRecv(uint64(i), s.slab[i]); err != nil {
-			qp.Close() //diwarp:ignore errflow — error-path cleanup of a QP never exposed; PostRecv's error is the one to report
-			return err
-		}
-	}
+	s.slab = slab
+	s.mu.Unlock()
 	return nil
 }
 
@@ -252,7 +264,7 @@ func (s *Socket) Connect(to transport.Addr) error {
 			return err
 		}
 		if err := s.initRC(stream, true); err != nil {
-			stream.Close() //diwarp:ignore errflow — error-path cleanup of a stream never exposed; initRC's error is the one to report
+			stream.Close() //diwarp:ignore errflow: error-path cleanup of a stream never exposed; initRC's error is the one to report
 			return err
 		}
 		return nil
@@ -405,23 +417,26 @@ func (s *Socket) Send(p []byte) error {
 		}
 		return s.SendTo(p, peer)
 	case StreamSocket:
-		if s.rcqp == nil {
+		// Snapshot the connection state under s.mu: a concurrent Connect
+		// publishes rcqp and wrMode under the same lock, and every later
+		// plain read on this path is ordered behind this acquisition.
+		s.mu.Lock()
+		rcqp, wr := s.rcqp, s.wrMode
+		s.mu.Unlock()
+		if rcqp == nil {
 			return ErrNotConnected
 		}
 		s.stats.msgsSent.Inc()
 		s.stats.bytesSent.Add(int64(len(p)))
-		s.mu.Lock()
-		wr := s.wrMode
-		s.mu.Unlock()
 		if wr {
 			if len(p) > streamWRInlineMax {
 				return s.sendStreamWR(p)
 			}
-			err := s.rcqp.PostSend(0, nio.VecOf([]byte{frameData}, p))
+			err := rcqp.PostSend(0, nio.VecOf([]byte{frameData}, p))
 			s.drainSendCQ()
 			return err
 		}
-		err := s.rcqp.PostSend(0, nio.VecOf(p))
+		err := rcqp.PostSend(0, nio.VecOf(p))
 		s.drainSendCQ()
 		return err
 	}
@@ -477,7 +492,10 @@ func (s *Socket) pump(timeout time.Duration) error {
 func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 	buf := s.slab[idx][:e.ByteLen]
 	if s.typ == StreamSocket {
-		if s.wrMode {
+		s.mu.Lock()
+		wr := s.wrMode
+		s.mu.Unlock()
+		if wr {
 			s.handleStreamWRFrame(idx, e)
 			return
 		}
@@ -516,7 +534,7 @@ func (s *Socket) handleInbound(idx int, e iwarp.CQE) {
 		adv[0] = frameRingAdv
 		adv = nio.PutU32(adv, uint32(ring.STag()))
 		adv = nio.PutU32(adv, uint32(ring.Len()))
-		//diwarp:ignore errflow — advert reply is best-effort: the requester re-sends frameRingReq until one arrives
+		//diwarp:ignore errflow: advert reply is best-effort: the requester re-sends frameRingReq until one arrives
 		_ = s.udqp.PostSend(^uint64(0), e.Src, nio.VecOf(adv))
 		s.drainSendCQ()
 	case frameRingAdv:
@@ -586,7 +604,7 @@ func (s *Socket) handleRingWrite(e iwarp.CQE) {
 		frame := make([]byte, 1, 9)
 		frame[0] = frameRingCredit
 		frame = nio.PutU64(frame, credit)
-		//diwarp:ignore errflow — credit frames carry cumulative counters: the next one repairs a lost send
+		//diwarp:ignore errflow: credit frames carry cumulative counters: the next one repairs a lost send
 		_ = s.udqp.PostSend(^uint64(0), peer, nio.VecOf(frame))
 		s.drainSendCQ()
 	}
@@ -598,9 +616,9 @@ func (s *Socket) repost(idx int) {
 		return
 	}
 	if s.udqp != nil {
-		_ = s.udqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow — PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
+		_ = s.udqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow: PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
 	} else if s.rcqp != nil {
-		_ = s.rcqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow — PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
+		_ = s.rcqp.PostRecv(uint64(idx), s.slab[idx]) //diwarp:ignore errflow: PostRecv on a live QP only fails once the QP is closed, when the receive window is moot
 	}
 }
 
@@ -655,7 +673,12 @@ func (s *Socket) Recv(p []byte, timeout time.Duration) (int, error) {
 		n, _, err := s.RecvFrom(p, timeout)
 		return n, err
 	case StreamSocket:
-		if s.rcqp == nil {
+		// Locked check: orders this goroutine behind a concurrent Connect's
+		// publication before the pump path reads slab/CQ state plainly.
+		s.mu.Lock()
+		rcqp := s.rcqp
+		s.mu.Unlock()
+		if rcqp == nil {
 			return 0, ErrNotConnected
 		}
 		deadline := time.Now().Add(timeout)
@@ -736,6 +759,7 @@ func (s *Socket) Close() error {
 	}
 	s.closed = true
 	ring := s.ring
+	udqp, rcqp := s.udqp, s.rcqp
 	s.mu.Unlock()
 	s.ifc.forget(s.fd)
 	var err error
@@ -744,13 +768,13 @@ func (s *Socket) Close() error {
 		// STag — worth surfacing unless a QP teardown error outranks it.
 		err = s.ifc.tbl.Deregister(ring.STag())
 	}
-	if s.udqp != nil {
-		if cerr := s.udqp.Close(); cerr != nil {
+	if udqp != nil {
+		if cerr := udqp.Close(); cerr != nil {
 			err = cerr
 		}
 	}
-	if s.rcqp != nil {
-		if cerr := s.rcqp.Close(); cerr != nil {
+	if rcqp != nil {
+		if cerr := rcqp.Close(); cerr != nil {
 			err = cerr
 		}
 	}

@@ -160,7 +160,7 @@ func (ifc *Interface) socket(t Type, port uint16) (*Socket, error) {
 			ep = rudp.New(ep)
 		}
 		if err := s.initUD(ep); err != nil {
-			ep.Close() //diwarp:ignore errflow — error-path cleanup of an endpoint never exposed; initUD's error is the one to report
+			ep.Close() //diwarp:ignore errflow: error-path cleanup of an endpoint never exposed; initUD's error is the one to report
 			return nil, err
 		}
 	case StreamSocket:
@@ -243,7 +243,7 @@ func (sl *StreamListener) Accept() (*Socket, error) {
 	}
 	s := newSocket(sl.ifc, StreamSocket)
 	if err := s.initRCAccept(stream); err != nil {
-		stream.Close() //diwarp:ignore errflow — error-path cleanup of a stream never exposed; initRCAccept's error is the one to report
+		stream.Close() //diwarp:ignore errflow: error-path cleanup of a stream never exposed; initRCAccept's error is the one to report
 		return nil, err
 	}
 	sl.ifc.mu.Lock()

@@ -61,7 +61,10 @@ const notifyLen = 1 + 8 + 4
 // chunking to a quarter ring so large sends pipeline through the credit
 // window (stream semantics permit splitting).
 func (s *Socket) sendStreamWR(p []byte) error {
+	s.mu.Lock()
 	maxChunk := s.remoteRing.size / 4
+	rcqp := s.rcqp
+	s.mu.Unlock()
 	if maxChunk == 0 {
 		return fmt.Errorf("%w: peer ring too small", ErrBadSocket)
 	}
@@ -81,14 +84,14 @@ func (s *Socket) sendStreamWR(p []byte) error {
 		stag := s.remoteRing.stag
 		s.mu.Unlock()
 
-		if err := s.rcqp.PostWrite(0, stag, uint64(cursor), nio.VecOf(p[:n])); err != nil {
+		if err := rcqp.PostWrite(0, stag, uint64(cursor), nio.VecOf(p[:n])); err != nil {
 			return err
 		}
 		notify := make([]byte, 1, notifyLen)
 		notify[0] = frameWRNotify
 		notify = nio.PutU64(notify, uint64(cursor))
 		notify = nio.PutU32(notify, uint32(n))
-		if err := s.rcqp.PostSend(0, nio.VecOf(notify)); err != nil {
+		if err := rcqp.PostSend(0, nio.VecOf(notify)); err != nil {
 			return err
 		}
 		s.drainSendCQ()
@@ -196,13 +199,14 @@ func (s *Socket) consumeRingWrite(to uint64, n int, from transport.Addr) {
 		s.ringCredit = s.ringRecvd
 		credit = s.ringRecvd
 	}
+	rcqp := s.rcqp
 	s.mu.Unlock()
-	if sendCredit {
+	if sendCredit && rcqp != nil {
 		frame := make([]byte, 1, 9)
 		frame[0] = frameRingCredit
 		frame = nio.PutU64(frame, credit)
-		//diwarp:ignore errflow — credit frames carry cumulative counters: the next one repairs a lost send
-		_ = s.rcqp.PostSend(^uint64(0), nio.VecOf(frame))
+		//diwarp:ignore errflow: credit frames carry cumulative counters: the next one repairs a lost send
+		_ = rcqp.PostSend(^uint64(0), nio.VecOf(frame))
 		s.drainSendCQ()
 	}
 }

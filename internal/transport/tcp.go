@@ -46,7 +46,7 @@ func (tl *tcpListener) Accept() (Stream, error) {
 	}
 	// iWARP over TCP sends latency-critical small FPDUs; disable Nagle as
 	// any RNIC or software stack would.
-	_ = c.SetNoDelay(true) //diwarp:ignore errflow — socket-option tuning: the stream works (slower) without it
+	_ = c.SetNoDelay(true) //diwarp:ignore errflow: socket-option tuning: the stream works (slower) without it
 	return &tcpStream{conn: c}, nil
 }
 
@@ -64,6 +64,6 @@ func DialTCP(to Addr) (Stream, error) {
 		return nil, err
 	}
 	tc := c.(*net.TCPConn)
-	_ = tc.SetNoDelay(true) //diwarp:ignore errflow — socket-option tuning: the stream works (slower) without it
+	_ = tc.SetNoDelay(true) //diwarp:ignore errflow: socket-option tuning: the stream works (slower) without it
 	return &tcpStream{conn: tc}, nil
 }

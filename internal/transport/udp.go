@@ -83,8 +83,8 @@ func ListenUDPMode(host string, port uint16, mode UDPBatchMode) (*UDPEndpoint, e
 	}
 	// Large socket buffers keep zero-loss benchmarks honest: the paper's
 	// stack relies on the kernel's UDP buffering below it.
-	_ = conn.SetReadBuffer(8 << 20)  //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
-	_ = conn.SetWriteBuffer(8 << 20) //diwarp:ignore errflow — socket-option tuning: kernels cap, not fail, oversized requests
+	_ = conn.SetReadBuffer(8 << 20)  //diwarp:ignore errflow: socket-option tuning: kernels cap, not fail, oversized requests
+	_ = conn.SetWriteBuffer(8 << 20) //diwarp:ignore errflow: socket-option tuning: kernels cap, not fail, oversized requests
 	e := &UDPEndpoint{
 		conn:      conn,
 		mtu:       DefaultMTU,
@@ -273,7 +273,7 @@ func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Durati
 	// Drain without blocking: an expired deadline turns further reads into
 	// EWOULDBLOCK probes of the socket buffer.
 	if err := e.conn.SetReadDeadline(aLongTimeAgo); err != nil {
-		return n, nil //diwarp:ignore errflow — the burst's first packet is already delivered; the deadline error will resurface on the next blocking read
+		return n, nil //diwarp:ignore errflow: the burst's first packet is already delivered; the deadline error will resurface on the next blocking read
 	}
 	syscalls := int64(1) // the blocking first read
 	for n < max {
@@ -288,7 +288,7 @@ func (e *UDPEndpoint) RecvBatch(pkts [][]byte, froms []Addr, timeout time.Durati
 	// Restore the deadline the drain expired: a blocking read that follows
 	// (or races) this burst must wait for data, not inherit a deadline
 	// already in the past.
-	_ = e.conn.SetReadDeadline(time.Time{}) //diwarp:ignore errflow — the burst is already delivered; a dead socket resurfaces on the next blocking read
+	_ = e.conn.SetReadDeadline(time.Time{}) //diwarp:ignore errflow: the burst is already delivered; a dead socket resurfaces on the next blocking read
 	observeBatch(syscalls, int64(n))
 	return n, nil
 }

@@ -418,7 +418,7 @@ func (k *kernelBatch) recvLocked(e *UDPEndpoint, pkts [][]byte, froms []Addr, ma
 		if timeout > 0 {
 			// Never leave a stale deadline armed on the shared socket: a
 			// following blocking Recv must block, not inherit this wait.
-			_ = e.conn.SetReadDeadline(time.Time{}) //diwarp:ignore errflow — restoring after a successful arm; a dead socket resurfaces on the next read
+			_ = e.conn.SetReadDeadline(time.Time{}) //diwarp:ignore errflow: restoring after a successful arm; a dead socket resurfaces on the next read
 		}
 		if err == nil && k.rerrno != 0 {
 			err = mapSendErrno(k.rerrno)
