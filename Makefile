@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-portable race vet lint lint-concurrency fuzz-short bench bench-datapath bench-smoke telemetry-smoke chaos-smoke chaos-smoke-race check clean
+.PHONY: all build test test-portable race vet lint lint-concurrency fuzz-short bench bench-datapath bench-smoke telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race check clean
 
 all: build
 
@@ -44,6 +44,7 @@ fuzz-short:
 	$(GO) test ./internal/mpa -run='^$$' -fuzz=FuzzMPAHeader -fuzztime=10s
 	$(GO) test ./internal/ddp -run='^$$' -fuzz=FuzzDDPSegment -fuzztime=10s
 	$(GO) test ./internal/rdmap -run='^$$' -fuzz=FuzzRDMAPHeader -fuzztime=10s
+	$(GO) test ./internal/msg -run='^$$' -fuzz=FuzzMsgHeader -fuzztime=10s
 
 # Full benchmark sweep: one benchmark per paper figure plus ablations.
 bench:
@@ -71,6 +72,12 @@ bench-smoke:
 telemetry-smoke:
 	$(GO) run ./cmd/iwarpd -sim -loss 0.01 -duration 2s -metrics 127.0.0.1:0 -smoke-scrape
 
+# Message-layer workload gate (DESIGN.md §4.11): a small simnet tensor mix
+# through cmd/tensorbench that must deliver every tensor with nonzero
+# goodput and shut down cleanly. Exits non-zero otherwise.
+tensorbench-smoke:
+	$(GO) run ./cmd/tensorbench -smoke
+
 # Fault-injection suite (DESIGN.md §4.8): the faultnet determinism tests
 # plus every chaos schedule with its committed seed. A failure prints the
 # seed and fault-log tail; replay with
@@ -85,7 +92,7 @@ chaos-smoke-race:
 	$(GO) test -race -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/ ./internal/sockif/
 
 # What CI should run.
-check: build vet test test-portable race lint lint-concurrency telemetry-smoke chaos-smoke chaos-smoke-race
+check: build vet test test-portable race lint lint-concurrency telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race
 
 clean:
 	rm -rf bin

@@ -80,6 +80,9 @@ func fetch(url string) (*telemetry.Snapshot, error) {
 // each counter's delta over the polling interval, per second.
 func render(w io.Writer, addr string, cur, prev *telemetry.Snapshot, interval time.Duration) error {
 	fmt.Fprintf(w, "diwarp-top — %s — %s\n", addr, time.Now().Format("15:04:05"))
+	if line := msgSummary(cur, prev, interval); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 
 	if len(cur.Counters) > 0 {
@@ -121,6 +124,31 @@ func render(w io.Writer, addr string, cur, prev *telemetry.Snapshot, interval ti
 		}
 	}
 	return tw.Flush()
+}
+
+// msgSummary condenses the message layer (DESIGN.md §4.11) into one row:
+// messages and bytes moved on each datapath with per-interval rates, open
+// rendezvous, and the health counters that should stay at zero (credit
+// stalls, sweeps). Empty when the daemon exports no msg metrics.
+func msgSummary(cur, prev *telemetry.Snapshot, interval time.Duration) string {
+	eager := cur.Counters["diwarp_msg_eager_sent_total"] + cur.Counters["diwarp_msg_eager_recv_total"]
+	rdv := cur.Counters["diwarp_msg_rdv_sent_total"] + cur.Counters["diwarp_msg_rdv_recv_total"]
+	bytes := cur.Counters["diwarp_msg_eager_bytes_total"] + cur.Counters["diwarp_msg_rdv_bytes_total"]
+	if eager+rdv == 0 {
+		if _, ok := cur.Counters["diwarp_msg_eager_sent_total"]; !ok {
+			return "" // layer not in use
+		}
+	}
+	rate := ""
+	if prev != nil && interval > 0 {
+		db := bytes - prev.Counters["diwarp_msg_eager_bytes_total"] - prev.Counters["diwarp_msg_rdv_bytes_total"]
+		rate = fmt.Sprintf(" · %.1f MB/s", float64(db)/1e6/interval.Seconds())
+	}
+	return fmt.Sprintf("msg layer: eager %s · rdv %s · %s B%s · open %d · stalls %d · swept %d",
+		telemetry.FormatValue(eager), telemetry.FormatValue(rdv), telemetry.FormatValue(bytes), rate,
+		cur.Gauges["diwarp_msg_rdv_open"],
+		cur.Counters["diwarp_msg_credit_stalls_total"],
+		cur.Counters["diwarp_msg_rdv_swept_total"])
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func msgSnapshot(eagerSent, rdvSent, eagerBytes, rdvBytes, open int64) *telemetry.Snapshot {
+	return &telemetry.Snapshot{
+		Counters: map[string]int64{
+			"diwarp_msg_eager_sent_total":    eagerSent,
+			"diwarp_msg_eager_recv_total":    eagerSent,
+			"diwarp_msg_rdv_sent_total":      rdvSent,
+			"diwarp_msg_rdv_recv_total":      rdvSent,
+			"diwarp_msg_eager_bytes_total":   eagerBytes,
+			"diwarp_msg_rdv_bytes_total":     rdvBytes,
+			"diwarp_msg_credit_stalls_total": 0,
+			"diwarp_msg_rdv_swept_total":     0,
+		},
+		Gauges: map[string]int64{"diwarp_msg_rdv_open": open},
+	}
+}
+
+// TestMsgSummaryRow pins the message-layer row: present (with datapath
+// totals and a rate once two snapshots exist) when the daemon exports
+// diwarp_msg_* metrics, absent when it does not.
+func TestMsgSummaryRow(t *testing.T) {
+	cur := msgSnapshot(100, 10, 51200, 10<<20, 2)
+	line := msgSummary(cur, nil, 0)
+	for _, want := range []string{"msg layer:", "eager 200", "rdv 20", "open 2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "MB/s") {
+		t.Errorf("first snapshot %q should have no rate", line)
+	}
+
+	prev := msgSnapshot(50, 5, 25600, 5<<20, 1)
+	line = msgSummary(cur, prev, 2*time.Second)
+	if !strings.Contains(line, "MB/s") {
+		t.Errorf("second snapshot %q should include a byte rate", line)
+	}
+
+	// A daemon that never touched the msg layer gets no row.
+	if line := msgSummary(&telemetry.Snapshot{Counters: map[string]int64{}}, nil, 0); line != "" {
+		t.Errorf("expected empty summary without msg metrics, got %q", line)
+	}
+}

@@ -9,8 +9,9 @@ import (
 )
 
 // runChaos is the -chaos soak mode: it sweeps the standard fault-schedule
-// suite (RD and UD) over fresh seeds round after round until the duration
-// elapses, printing one verdict line per schedule. Any invariant violation
+// suite (RD, UD, and message-layer) over fresh seeds round after round
+// until the duration elapses, printing one verdict line per schedule. Any
+// invariant violation
 // aborts the soak with the seed and fault-log tail needed to replay it via
 // `go test ./internal/faultnet/chaos -run Chaos -faultnet.seed=N`.
 func runChaos(seed int64, dur time.Duration) error {
@@ -32,6 +33,14 @@ func runChaos(seed int64, dur time.Duration) error {
 		}
 		for _, s := range uds {
 			v := chaos.RunUD(s)
+			fmt.Print(v.Report())
+			if !v.Passed() {
+				return fmt.Errorf("chaos: schedule %q seed %d violated %d invariant(s)", v.Name, v.Seed, len(v.Failures))
+			}
+			schedules++
+		}
+		for _, s := range chaos.MsgSuite(seed + round*10_000 + 5_000) {
+			v := chaos.RunMsg(s)
 			fmt.Print(v.Report())
 			if !v.Passed() {
 				return fmt.Errorf("chaos: schedule %q seed %d violated %d invariant(s)", v.Name, v.Seed, len(v.Failures))

@@ -37,6 +37,7 @@ import (
 
 	iwarp "repro/internal/core"
 	"repro/internal/memreg"
+	"repro/internal/msg"
 	"repro/internal/nio"
 	"repro/internal/rudp"
 	"repro/internal/simnet"
@@ -88,6 +89,16 @@ type (
 	SimConfig = simnet.Config
 	// SimNetwork is the in-process simulated network.
 	SimNetwork = simnet.Network
+	// MsgConfig parameterises a message-layer endpoint (eager threshold,
+	// credits, rendezvous limits, delivery handler).
+	MsgConfig = msg.Config
+	// MsgEndpoint is a message-layer endpoint: arbitrarily large messages
+	// over one QP, eager below the threshold, rendezvous zero-copy above.
+	MsgEndpoint = msg.Endpoint
+	// Message is one delivered message; call Release when done with Data.
+	Message = msg.Message
+	// MsgStats counts message-layer datapath events.
+	MsgStats = msg.Stats
 )
 
 // Access rights for Register.
@@ -159,6 +170,13 @@ func DialTCP(to Addr) (Stream, error) { return transport.DialTCP(to) }
 // LLP (ordered, exactly-once delivery), giving the paper's RD service when
 // passed to OpenUD.
 func Reliable(ep Datagram) Datagram { return rudp.New(ep) }
+
+// OpenMsg opens a message-layer endpoint over ep (DESIGN.md §4.11):
+// Send transfers arbitrarily large messages, eager below the configured
+// threshold and rendezvous with zero-copy Write-Record placement above
+// it; whole messages arrive through cfg.Handler. Pass Reliable(ep) for
+// exactly-once delivery over lossy links.
+func OpenMsg(ep Datagram, cfg MsgConfig) (*MsgEndpoint, error) { return msg.Open(ep, cfg) }
 
 // Node bundles the per-process verbs resources: a protection domain, the
 // STag table, and a default pair of completion queues. It corresponds to

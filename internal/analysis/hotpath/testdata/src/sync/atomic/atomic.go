@@ -14,3 +14,10 @@ type Uint64 struct{ v uint64 }
 func (a *Uint64) Add(n uint64) uint64 { return a.v }
 func (a *Uint64) Load() uint64        { return a.v }
 func (a *Uint64) Store(n uint64)      {}
+
+type Uint32 struct{ v uint32 }
+
+func (a *Uint32) Add(n uint32) uint32             { return a.v }
+func (a *Uint32) Load() uint32                    { return a.v }
+func (a *Uint32) Store(n uint32)                  {}
+func (a *Uint32) CompareAndSwap(o, n uint32) bool { return true }

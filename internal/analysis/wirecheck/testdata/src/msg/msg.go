@@ -1,0 +1,43 @@
+// Package msg mirrors the message layer's control-channel codec shapes
+// (internal/msg wire.go): a 32-byte fixed header whose fields are read and
+// written at constant offsets. The fixture pins that wirecheck covers the
+// msg package — big-endian only, and every fixed-offset access inside the
+// declared HeaderLen bound.
+package msg
+
+import (
+	"encoding/binary"
+
+	"nio"
+)
+
+// HeaderLen is the real package's header geometry: the bound rule keys on
+// this constant.
+const HeaderLen = 32
+
+func parseOK(b []byte) (uint32, uint64, uint64) {
+	id := nio.U32(b[4:])                  // [4,8): MsgID, in bounds
+	length := nio.U64(b[16:])             // [16,24): Length, in bounds
+	to := binary.BigEndian.Uint64(b[24:]) // [24,32): TO, exactly at the bound
+	return id, length, to
+}
+
+func parseBad(b []byte) (uint32, uint64) {
+	x := nio.U32(b[29:])                 // want `exceeds HeaderLen`
+	y := binary.BigEndian.Uint64(b[28:]) // want `exceeds HeaderLen`
+	return x, y
+}
+
+func writeOK(b []byte, id uint32) []byte {
+	binary.BigEndian.PutUint32(b[4:], id)
+	b = nio.PutU32(b, id) // append-style: exempt
+	return b
+}
+
+func wrongOrder(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[4:]) // want `use binary.BigEndian`
+}
+
+func manualAssembly(b []byte) uint32 {
+	return uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24 // want `little-endian byte assembly`
+}

@@ -43,12 +43,12 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "header access must be big-endian and inside declared header bounds\n\n" +
 		"Reports little-endian byte order, manual little-endian assembly, and\n" +
 		"constant-offset field accesses past the package's header-size constants\n" +
-		"in the mpa, ddp, rdmap, rudp, and nio packages.",
+		"in the mpa, ddp, rdmap, rudp, nio, and msg packages.",
 	Run: run,
 }
 
 // scope lists the import-path segments holding wire codecs.
-var scope = []string{"mpa", "ddp", "rdmap", "rudp", "nio"}
+var scope = []string{"mpa", "ddp", "rdmap", "rudp", "nio", "msg"}
 
 // headerConstRE matches the names of constants that declare header sizes.
 var headerConstRE = regexp.MustCompile(`(?i)(hdr|header|ack|req|frame|trailer)(len|size)$`)

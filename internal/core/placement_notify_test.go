@@ -1,0 +1,95 @@
+package iwarp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/simnet"
+)
+
+// TestPlacementNotifyHook pins the placement-completion hook: with
+// PlacementNotify set, successful Write-Record target completions go to
+// the callback — not the receive CQ — while advisory errors still reach
+// the CQ. The hook is the message layer's rendezvous completion signal; a
+// full CQ must never be able to drop it.
+func TestPlacementNotifyHook(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	a := newUDNode(t, net, "a", UDConfig{})
+
+	hooked := make(chan CQE, 8)
+	b := newUDNode(t, net, "b", UDConfig{
+		PlacementNotify: func(e CQE) { hooked <- e },
+	})
+
+	region, err := b.tbl.Register(b.pd, make([]byte, 4096), memreg.RemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hooked placement completion")
+	if err := a.qp.PostWriteRecord(1, b.qp.LocalAddr(), region.STag(), 64, nio.VecOf(payload)); err != nil {
+		t.Fatal(err)
+	}
+	var re CQE
+	select {
+	case re = <-hooked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("placement hook never fired")
+	}
+	if re.Type != WTWriteRecordRecv || !re.Ok() {
+		t.Fatalf("hooked CQE %+v", re)
+	}
+	if re.STag != region.STag() || re.TO != 64 || re.MsgLen != len(payload) {
+		t.Fatalf("hooked CQE fields %+v", re)
+	}
+	if !bytes.Equal(region.Bytes()[64:64+len(payload)], payload) {
+		t.Fatal("data not placed")
+	}
+	// The completion must NOT also appear on the receive CQ.
+	if e, err := b.rcq.Poll(100 * time.Millisecond); err == nil {
+		t.Fatalf("completion leaked to the receive CQ: %+v", e)
+	}
+
+	// Multi-segment messages complete through the same hook exactly once.
+	big := make([]byte, 200<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	region2, err := b.tbl.Register(b.pd, make([]byte, len(big)), memreg.RemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.qp.PostWriteRecord(2, b.qp.LocalAddr(), region2.STag(), 0, nio.VecOf(big)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case re = <-hooked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hook never fired for multi-segment record")
+	}
+	if re.STag != region2.STag() || re.MsgLen != len(big) {
+		t.Fatalf("multi-segment hooked CQE %+v", re)
+	}
+	select {
+	case e := <-hooked:
+		t.Fatalf("duplicate hook invocation: %+v", e)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if !bytes.Equal(region2.Bytes(), big) {
+		t.Fatal("multi-segment data not placed")
+	}
+
+	// Advisory errors (bad STag) still surface on the receive CQ.
+	if err := a.qp.PostWriteRecord(3, b.qp.LocalAddr(), memreg.STag(0xdead00), 0, nio.VecOf(payload)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := b.rcq.Poll(2 * time.Second)
+	if err != nil {
+		t.Fatal("advisory error did not reach the receive CQ")
+	}
+	if e.Type != WTError {
+		t.Fatalf("advisory CQE %+v", e)
+	}
+}

@@ -44,6 +44,15 @@ type UDConfig struct {
 	// while independent peers parse, reassemble, and place concurrently;
 	// 1 degrades to the serial engine.
 	RecvWorkers int
+	// PlacementNotify, when non-nil, receives every successful Write-Record
+	// target completion (WTWriteRecordRecv) instead of the receive CQ — the
+	// placement-completion hook a message layer's rendezvous sink needs:
+	// direct dispatch from the placement worker, no CQ round trip and no
+	// risk of a full CQ dropping the notification a zero-copy transfer
+	// completes on. The callback runs on a placement-worker goroutine and
+	// must not block; advisory error completions (WTError) still go to the
+	// receive CQ.
+	PlacementNotify func(CQE)
 }
 
 // recvWorkers resolves the configured worker count.
@@ -569,7 +578,7 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	if qp.cfg.PerChunkCompletions {
 		var v memreg.ValidityMap
 		v.Add(seg.TO, uint64(len(seg.Payload)))
-		qp.recvCQ.post(CQE{
+		qp.completeWR(CQE{
 			Type: WTWriteRecordRecv, ByteLen: len(seg.Payload), Src: from,
 			STag: seg.STag, TO: seg.TO, MsgLen: int(seg.MsgLen), Validity: v,
 		})
@@ -581,7 +590,7 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 		var v memreg.ValidityMap
 		v.Add(seg.TO, uint64(len(seg.Payload)))
 		qp.stats.msgsRecv.Inc()
-		qp.recvCQ.post(CQE{
+		qp.completeWR(CQE{
 			Type: WTWriteRecordRecv, ByteLen: len(seg.Payload), Src: from,
 			STag: seg.STag, TO: seg.TO, MsgLen: int(seg.MsgLen), Validity: v,
 		})
@@ -607,10 +616,20 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	qp.recMu.Unlock()
 	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
 	qp.stats.msgsRecv.Inc()
-	qp.recvCQ.post(CQE{
+	qp.completeWR(CQE{
 		Type: WTWriteRecordRecv, ByteLen: tr.placed, Src: from,
 		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
 	})
+}
+
+// completeWR delivers a Write-Record target completion: to the configured
+// placement hook when one is installed, otherwise to the receive CQ.
+func (qp *UDQP) completeWR(e CQE) {
+	if qp.cfg.PlacementNotify != nil {
+		qp.cfg.PlacementNotify(e)
+		return
+	}
+	qp.recvCQ.post(e)
 }
 
 // sweepLoop periodically abandons stale reassembly partials and

@@ -1,0 +1,1014 @@
+// Endpoint: the message-layer engine. One Endpoint wraps one datagram QP
+// and moves whole application messages — eager below the threshold,
+// rendezvous above it — delivering each exactly once to the configured
+// handler (over a Reliable LLP; best-effort otherwise). See the package
+// comment in wire.go for the protocol overview and DESIGN.md §4.11 for the
+// state machines.
+package msg
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	iwarp "repro/internal/core"
+	"repro/internal/memreg"
+	"repro/internal/nio"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// Tunables and their defaults.
+const (
+	// DefaultEagerThreshold is the eager/rendezvous crossover used when
+	// Config.EagerThreshold is zero and AutoProbe is off. 16 KiB sits in
+	// the crossover band the paper's MPI ancestry reports (MPICH2 uses
+	// 16-64 KiB over RDMA interconnects); `make tensorbench` measures the
+	// real one for this stack and EXPERIMENTS.md records it.
+	DefaultEagerThreshold = 16 << 10
+	// DefaultEagerCredits is the per-peer eager window W: a sender may
+	// have at most W eager messages outstanding beyond the receiver's
+	// last cumulative grant.
+	DefaultEagerCredits = 64
+	// DefaultRecvDepth is the number of pre-posted receive buffers. It
+	// must absorb the eager window plus control traffic for every active
+	// peer: with defaults, 256 covers ~3 saturating peers.
+	DefaultRecvDepth = 256
+	// DefaultMaxRendezvous bounds concurrent outbound rendezvous
+	// transfers per peer (each pins a sink buffer on the receiver).
+	DefaultMaxRendezvous = 16
+	// DefaultRendezvousTimeout bounds how long a sender waits for CTS and
+	// how long a receiver retains a sink with no placement progress.
+	DefaultRendezvousTimeout = 5 * time.Second
+	// DefaultCreditTimeout bounds how long an eager send parks waiting
+	// for credit before reclaiming one: over a lossy unreliable LLP a
+	// grant datagram can vanish, and liveness beats window precision.
+	DefaultCreditTimeout = time.Second
+	// MaxMessageSize mirrors the verbs layer's 1 GiB untagged/tagged cap.
+	MaxMessageSize = 1 << 30
+)
+
+// Message-layer errors.
+var (
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("msg: endpoint closed")
+	// ErrTooLarge reports a payload above MaxMessageSize.
+	ErrTooLarge = errors.New("msg: message exceeds 1 GiB limit")
+	// ErrRendezvousTimeout reports a rendezvous whose CTS never arrived:
+	// the peer is gone, saturated, or the RTS/CTS was lost on an
+	// unreliable LLP.
+	ErrRendezvousTimeout = errors.New("msg: rendezvous timed out awaiting CTS")
+	// ErrNilHandler reports an Open with no delivery callback.
+	ErrNilHandler = errors.New("msg: Config.Handler must be set")
+)
+
+// Config parameterizes an Endpoint.
+type Config struct {
+	// EagerThreshold is the largest payload (bytes) sent eagerly. Zero
+	// selects DefaultEagerThreshold, or the measured Crossover() when
+	// AutoProbe is set. Both ends of a flow must agree: an eager message
+	// larger than the receiver's threshold overflows its posted receives
+	// and is dropped with an advisory completion.
+	EagerThreshold int
+	// AutoProbe, with EagerThreshold zero, measures the crossover on a
+	// loopback simnet at first Open and uses that instead of the default.
+	AutoProbe bool
+	// EagerCredits is the per-peer eager window W (default 64).
+	EagerCredits int
+	// RecvDepth is the number of pre-posted receives (default 256).
+	RecvDepth int
+	// MaxRendezvous bounds concurrent outbound rendezvous per peer
+	// (default 16).
+	MaxRendezvous int
+	// RendezvousTimeout bounds CTS waits and idle-sink retention
+	// (default 5s).
+	RendezvousTimeout time.Duration
+	// CreditTimeout bounds a credit stall before reclaim (default 1s).
+	CreditTimeout time.Duration
+	// SweepInterval is the sink-sweeper period (default
+	// RendezvousTimeout/2).
+	SweepInterval time.Duration
+	// Reliable declares the underlying transport a reliable LLP (rudp):
+	// the QP blocks on receiver-not-ready instead of dropping, and the
+	// layer guarantees exactly-once delivery.
+	Reliable bool
+	// RecvWorkers sets the QP's placement-worker count (0 = QP default).
+	RecvWorkers int
+	// Handler receives every delivered message. It may be invoked
+	// concurrently from internal goroutines, must not block indefinitely
+	// (it stalls the receive path), and owns m until m.Release().
+	Handler func(m Message)
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerThreshold == 0 {
+		if c.AutoProbe {
+			c.EagerThreshold = Crossover()
+		} else {
+			c.EagerThreshold = DefaultEagerThreshold
+		}
+	}
+	if c.EagerCredits == 0 {
+		c.EagerCredits = DefaultEagerCredits
+	}
+	if c.RecvDepth == 0 {
+		c.RecvDepth = DefaultRecvDepth
+	}
+	if c.MaxRendezvous == 0 {
+		c.MaxRendezvous = DefaultMaxRendezvous
+	}
+	if c.RendezvousTimeout == 0 {
+		c.RendezvousTimeout = DefaultRendezvousTimeout
+	}
+	if c.CreditTimeout == 0 {
+		c.CreditTimeout = DefaultCreditTimeout
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.RendezvousTimeout / 2
+	}
+	return c
+}
+
+// Message is one delivered application message. Data aliases an internal
+// buffer (a pooled receive segment for eager, the registered sink for
+// rendezvous): the handler owns it until Release, which must be called
+// exactly once to return the buffer to its pool.
+type Message struct {
+	// From is the sender's datagram address.
+	From transport.Addr
+	// Data is the complete payload.
+	Data []byte
+	// Rendezvous reports which datapath carried the message.
+	Rendezvous bool
+
+	ep  *Endpoint
+	buf []byte
+}
+
+// Release returns the message's buffer to the endpoint. Data must not be
+// touched afterwards.
+func (m *Message) Release() {
+	if m.ep == nil {
+		return
+	}
+	if m.Rendezvous {
+		m.ep.sinks.put(m.buf)
+	} else {
+		m.ep.rxPool.Put(m.buf)
+	}
+	m.ep = nil
+}
+
+// Stats is a point-in-time snapshot of one endpoint's message counters
+// (the process-wide diwarp_msg_* telemetry aggregates all endpoints).
+type Stats struct {
+	EagerSent, EagerRecv   int64
+	RdvSent, RdvRecv       int64
+	EagerBytes, RdvBytes   int64
+	CreditStalls, RdvSwept int64
+}
+
+// peer is the per-remote-address protocol state: the sender-side credit
+// ledger and rendezvous table for our sends to it, and the receiver-side
+// grant ledger for its sends to us.
+type peer struct {
+	addr transport.Addr
+
+	// Sender side. Credit invariant: an eager send requires
+	// sent - limit < 0 (int32 arithmetic, wrap-safe); limit advances to
+	// grant+W as cumulative grants arrive.
+	sent      atomic.Uint32
+	limit     atomic.Uint32
+	lastGrant atomic.Uint32
+	creditCh  chan struct{} // pulsed (cap 1) when limit moves
+	nextID    atomic.Uint32
+	rdvSem    chan struct{} // cap MaxRendezvous
+	pendMu    sync.Mutex
+	pending   map[uint32]chan Header // MsgID -> CTS delivery
+
+	// Receiver side: cumulative eager deliveries and the last grant we
+	// told the peer about.
+	consumed  atomic.Uint32
+	grantSent atomic.Uint32
+}
+
+// tryReserve claims one eager credit if the window has room. Lock-free:
+// this is the eager send fast path.
+//
+//diwarp:hotpath
+func (p *peer) tryReserve() bool {
+	for {
+		s := p.sent.Load()
+		if int32(s-p.limit.Load()) >= 0 {
+			return false
+		}
+		if p.sent.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// applyGrant folds a cumulative grant g from this peer into the ledger,
+// raising limit to g+w. A grant far behind the last one means the peer
+// restarted with a fresh ledger (its delivered count reset to zero): the
+// window is re-based on the peer's new world instead of deadlocking on
+// credit that will never come back.
+func (p *peer) applyGrant(g, w uint32) {
+	for {
+		last := p.lastGrant.Load()
+		d := int32(g - last)
+		if d < 0 {
+			if -d <= int32(w) {
+				return // stale or reordered grant: ignore
+			}
+			if !p.lastGrant.CompareAndSwap(last, g) {
+				continue
+			}
+			p.sent.Store(g)
+			p.limit.Store(g + w)
+			p.pulse()
+			return
+		}
+		if p.lastGrant.CompareAndSwap(last, g) {
+			break
+		}
+	}
+	for {
+		l := p.limit.Load()
+		nl := g + w
+		if int32(nl-l) <= 0 {
+			return
+		}
+		if p.limit.CompareAndSwap(l, nl) {
+			p.pulse()
+			return
+		}
+	}
+}
+
+func (p *peer) pulse() {
+	select {
+	case p.creditCh <- struct{}{}:
+	default:
+	}
+}
+
+// inKey names one inbound rendezvous transfer.
+type inKey struct {
+	from transport.Addr
+	id   uint32
+}
+
+// inboundRdv is the receiver-side state of one rendezvous: the registered
+// sink awaiting Write-Record placement. Fields are guarded by Endpoint.mu.
+type inboundRdv struct {
+	key     inKey
+	region  *memreg.Region
+	stag    memreg.STag
+	buf     []byte // sink (len == n), from Endpoint.sinks
+	n       uint64
+	finSeen bool
+	done    bool
+	born    time.Time
+	// Sweeper progress tracking: an entry is reaped only after showing no
+	// new placed bytes for two consecutive sweeps past RendezvousTimeout.
+	lastCovered uint64
+	staleSweeps int
+}
+
+// metrics is the process-wide diwarp_msg_* telemetry, shared by every
+// endpoint.
+type metrics struct {
+	eagerSent, eagerRecv   *telemetry.Counter
+	rdvSent, rdvRecv       *telemetry.Counter
+	eagerBytes, rdvBytes   *telemetry.Counter
+	creditStalls           *telemetry.Counter
+	creditReclaims         *telemetry.Counter
+	creditsSent            *telemetry.Counter
+	rdvSwept, rdvTimeouts  *telemetry.Counter
+	badHeaders, advisories *telemetry.Counter
+	sendBytes              *telemetry.Histogram // the crossover histogram
+	rdvUS                  *telemetry.Histogram
+	rdvOpen                *telemetry.Gauge
+}
+
+var (
+	metOnce sync.Once
+	met     *metrics
+)
+
+func getMetrics() *metrics {
+	metOnce.Do(func() {
+		r := telemetry.Default
+		met = &metrics{
+			eagerSent:      r.Counter("diwarp_msg_eager_sent_total"),
+			eagerRecv:      r.Counter("diwarp_msg_eager_recv_total"),
+			rdvSent:        r.Counter("diwarp_msg_rdv_sent_total"),
+			rdvRecv:        r.Counter("diwarp_msg_rdv_recv_total"),
+			eagerBytes:     r.Counter("diwarp_msg_eager_bytes_total"),
+			rdvBytes:       r.Counter("diwarp_msg_rdv_bytes_total"),
+			creditStalls:   r.Counter("diwarp_msg_credit_stalls_total"),
+			creditReclaims: r.Counter("diwarp_msg_credit_reclaims_total"),
+			creditsSent:    r.Counter("diwarp_msg_credits_sent_total"),
+			rdvSwept:       r.Counter("diwarp_msg_rdv_swept_total"),
+			rdvTimeouts:    r.Counter("diwarp_msg_rdv_timeouts_total"),
+			badHeaders:     r.Counter("diwarp_msg_bad_headers_total"),
+			advisories:     r.Counter("diwarp_msg_advisories_total"),
+			sendBytes:      r.Histogram("diwarp_msg_send_bytes"),
+			rdvUS:          r.Histogram("diwarp_msg_rdv_us"),
+			rdvOpen:        r.Gauge("diwarp_msg_rdv_open"),
+		}
+	})
+	return met
+}
+
+// Endpoint is one message-layer endpoint over one datagram QP.
+type Endpoint struct {
+	cfg       Config
+	threshold int
+	window    uint32
+
+	pd     *memreg.PD
+	tbl    *memreg.Table
+	qp     *iwarp.UDQP
+	sendCQ *iwarp.CQ
+	recvCQ *iwarp.CQ
+
+	rxPool  *nio.Pool // posted-receive buffers: HeaderLen + threshold
+	hdrPool *nio.Pool // header staging for sends
+	vecs    sync.Pool // *[2][]byte gather vectors for eager sends
+	sinks   *sinkPool // rendezvous sink buffers
+
+	rxMu   sync.Mutex
+	rxBufs map[uint64][]byte // posted receive WRID -> buffer
+	nextWR atomic.Uint64
+
+	peerMu sync.Mutex
+	peers  map[transport.Addr]*peer
+
+	mu      sync.Mutex // guards inbound/byStag and inboundRdv fields
+	inbound map[inKey]*inboundRdv
+	byStag  map[memreg.STag]*inboundRdv
+
+	m      *metrics
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Per-endpoint counters (telemetry is process-global).
+	nEagerSent, nEagerRecv atomic.Int64
+	nRdvSent, nRdvRecv     atomic.Int64
+	nEagerBytes, nRdvBytes atomic.Int64
+	nCreditStalls          atomic.Int64
+	nRdvSwept              atomic.Int64
+}
+
+// Open builds a message-layer endpoint over ep: it creates the protection
+// domain, registration table, CQs, and datagram QP (wiring the QP's
+// placement-completion hook to the rendezvous engine), pre-posts the
+// receive ring, and starts the dispatch goroutines.
+func Open(ep transport.Datagram, cfg Config) (*Endpoint, error) {
+	if cfg.Handler == nil {
+		return nil, ErrNilHandler
+	}
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		cfg:       cfg,
+		threshold: cfg.EagerThreshold,
+		window:    uint32(cfg.EagerCredits),
+		pd:        memreg.NewPD(),
+		tbl:       memreg.NewTable(),
+		sendCQ:    iwarp.NewCQ(1024),
+		recvCQ:    iwarp.NewCQ(2*cfg.RecvDepth + 1024),
+		rxPool:    nio.NewPool(HeaderLen + cfg.EagerThreshold),
+		hdrPool:   nio.NewPool(HeaderLen),
+		sinks:     newSinkPool(),
+		rxBufs:    make(map[uint64][]byte, cfg.RecvDepth),
+		peers:     make(map[transport.Addr]*peer),
+		inbound:   make(map[inKey]*inboundRdv),
+		byStag:    make(map[memreg.STag]*inboundRdv),
+		m:         getMetrics(),
+		done:      make(chan struct{}),
+	}
+	e.vecs.New = func() any { return new([2][]byte) }
+	qp, err := iwarp.OpenUD(ep, e.pd, e.tbl, e.sendCQ, e.recvCQ, iwarp.UDConfig{
+		RecvDepth:       cfg.RecvDepth + 1,
+		BlockOnRNR:      cfg.Reliable,
+		RecvWorkers:     cfg.RecvWorkers,
+		PlacementNotify: e.onPlacement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.qp = qp
+	for i := 0; i < cfg.RecvDepth; i++ {
+		if err := e.postOneRecv(); err != nil {
+			qp.Close()
+			return nil, err
+		}
+	}
+	e.wg.Add(3)
+	go e.pollLoop()
+	go e.sendDrain()
+	go e.sweepLoop()
+	return e, nil
+}
+
+// LocalAddr reports the endpoint's datagram address.
+func (e *Endpoint) LocalAddr() transport.Addr { return e.qp.LocalAddr() }
+
+// Threshold reports the eager/rendezvous crossover in effect.
+func (e *Endpoint) Threshold() int { return e.threshold }
+
+// Stats snapshots the endpoint's message counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		EagerSent:    e.nEagerSent.Load(),
+		EagerRecv:    e.nEagerRecv.Load(),
+		RdvSent:      e.nRdvSent.Load(),
+		RdvRecv:      e.nRdvRecv.Load(),
+		EagerBytes:   e.nEagerBytes.Load(),
+		RdvBytes:     e.nRdvBytes.Load(),
+		CreditStalls: e.nCreditStalls.Load(),
+		RdvSwept:     e.nRdvSwept.Load(),
+	}
+}
+
+// OutstandingRendezvous reports open transfers: inbound sinks registered
+// and awaiting completion, and outbound RTSes awaiting CTS. Both must be
+// zero at quiesce — the chaos suite's table-balance invariant.
+func (e *Endpoint) OutstandingRendezvous() (inbound, outbound int) {
+	e.mu.Lock()
+	inbound = len(e.inbound)
+	e.mu.Unlock()
+	e.peerMu.Lock()
+	for _, p := range e.peers {
+		p.pendMu.Lock()
+		outbound += len(p.pending)
+		p.pendMu.Unlock()
+	}
+	e.peerMu.Unlock()
+	return inbound, outbound
+}
+
+// BufOutstanding reports buffers checked out of the endpoint's pools
+// (posted receives count until Close returns them). After Close with every
+// Message released it must equal zero — the chaos pool-balance invariant.
+func (e *Endpoint) BufOutstanding() int64 {
+	return e.rxPool.Outstanding() + e.hdrPool.Outstanding() + e.sinks.outstanding()
+}
+
+// peer returns (creating on first use) the protocol state for addr.
+func (e *Endpoint) peer(addr transport.Addr) *peer {
+	e.peerMu.Lock()
+	p := e.peers[addr]
+	if p == nil {
+		p = &peer{
+			addr:     addr,
+			creditCh: make(chan struct{}, 1),
+			rdvSem:   make(chan struct{}, e.cfg.MaxRendezvous),
+			pending:  make(map[uint32]chan Header),
+		}
+		p.limit.Store(e.window)
+		e.peers[addr] = p
+	}
+	e.peerMu.Unlock()
+	return p
+}
+
+// Send transfers payload to the peer at `to`, choosing eager or rendezvous
+// by size. It blocks for flow control (eager credit, rendezvous slots and
+// CTS) and returns once the payload is handed to the transport (eager) or
+// fully streamed and FINed (rendezvous). Safe for concurrent use; payload
+// is not retained after return.
+func (e *Endpoint) Send(to transport.Addr, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(payload) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	e.m.sendBytes.Observe(int64(len(payload)))
+	p := e.peer(to)
+	if len(payload) <= e.threshold {
+		return e.sendEager(p, to, payload)
+	}
+	return e.sendRendezvous(p, to, payload)
+}
+
+// ---------------------------------------------------------------- eager --
+
+func (e *Endpoint) sendEager(p *peer, to transport.Addr, payload []byte) error {
+	if !p.tryReserve() {
+		e.m.creditStalls.Inc()
+		e.nCreditStalls.Add(1)
+		if err := e.waitCredit(p); err != nil {
+			return err
+		}
+	}
+	hb := e.hdrPool.Get()
+	h := Header{Type: TypeEager, Grant: p.consumed.Load(), Length: uint64(len(payload))}
+	err := e.postEager(to, appendHeader(hb[:0], &h), payload)
+	e.hdrPool.Put(hb[:HeaderLen])
+	if err != nil {
+		return err
+	}
+	e.noteGrantSent(p, h.Grant)
+	e.m.eagerSent.Inc()
+	e.m.eagerBytes.Add(int64(len(payload)))
+	e.nEagerSent.Add(1)
+	e.nEagerBytes.Add(int64(len(payload)))
+	return nil
+}
+
+// postEager gathers header+payload into the QP without flattening: the
+// payload's single copy happens inside the transport's wire segmentation.
+// The two-element gather vector is pooled so the steady state allocates
+// nothing.
+//
+//diwarp:hotpath
+func (e *Endpoint) postEager(to transport.Addr, hdr, payload []byte) error {
+	vb := e.vecs.Get().(*[2][]byte)
+	vb[0], vb[1] = hdr, payload
+	err := e.qp.PostSend(0, to, nio.Vec(vb[:]))
+	vb[0], vb[1] = nil, nil
+	e.vecs.Put(vb)
+	return err
+}
+
+// waitCredit parks until the peer's window opens. If no grant arrives
+// within CreditTimeout the sender reclaims one credit and proceeds: over an
+// unreliable LLP the grant datagram itself can be lost, and a bounded
+// overshoot of the receiver's window (it drops and advises) is preferable
+// to a wedged sender.
+func (e *Endpoint) waitCredit(p *peer) error {
+	t := time.NewTimer(e.cfg.CreditTimeout)
+	defer t.Stop()
+	for {
+		if p.tryReserve() {
+			return nil
+		}
+		select {
+		case <-p.creditCh:
+		case <-t.C:
+			e.m.creditReclaims.Inc()
+			p.limit.Add(1)
+			t.Reset(e.cfg.CreditTimeout)
+		case <-e.done:
+			return ErrClosed
+		}
+	}
+}
+
+// ----------------------------------------------------------- rendezvous --
+
+func (e *Endpoint) sendRendezvous(p *peer, to transport.Addr, payload []byte) error {
+	select {
+	case p.rdvSem <- struct{}{}:
+	case <-e.done:
+		return ErrClosed
+	}
+	defer func() { <-p.rdvSem }()
+
+	id := p.nextID.Add(1)
+	ctsCh := make(chan Header, 1)
+	p.pendMu.Lock()
+	p.pending[id] = ctsCh
+	p.pendMu.Unlock()
+	defer func() {
+		p.pendMu.Lock()
+		delete(p.pending, id)
+		p.pendMu.Unlock()
+	}()
+
+	start := time.Now()
+	n := uint64(len(payload))
+	if err := e.sendCtrl(p, to, &Header{Type: TypeRTS, MsgID: id, Length: n}); err != nil {
+		return err
+	}
+	t := time.NewTimer(e.cfg.RendezvousTimeout)
+	defer t.Stop()
+	var cts Header
+	select {
+	case cts = <-ctsCh:
+	case <-t.C:
+		e.m.rdvTimeouts.Inc()
+		return ErrRendezvousTimeout
+	case <-e.done:
+		return ErrClosed
+	}
+	// Stream the payload as one tagged Write-Record into the advertised
+	// sink: the transport fragments it and the receiver's claim-based
+	// direct placement lands wire bytes straight in the registered buffer
+	// — no staging copy at either end.
+	if err := e.qp.PostWriteRecord(0, to, memreg.STag(cts.STag), cts.TO, nio.VecOf(payload)); err != nil {
+		return err
+	}
+	if err := e.sendCtrl(p, to, &Header{Type: TypeFIN, MsgID: id, Length: n}); err != nil {
+		return err
+	}
+	e.m.rdvSent.Inc()
+	e.m.rdvBytes.Add(int64(n))
+	e.m.rdvUS.Observe(time.Since(start).Microseconds())
+	e.nRdvSent.Add(1)
+	e.nRdvBytes.Add(int64(n))
+	return nil
+}
+
+// sendCtrl emits one pure control message, piggybacking the current
+// cumulative grant for this peer.
+func (e *Endpoint) sendCtrl(p *peer, to transport.Addr, h *Header) error {
+	h.Grant = p.consumed.Load()
+	hb := e.hdrPool.Get()
+	err := e.qp.PostSend(0, to, nio.VecOf(appendHeader(hb[:0], h)))
+	e.hdrPool.Put(hb[:HeaderLen])
+	if err == nil {
+		e.noteGrantSent(p, h.Grant)
+	}
+	return err
+}
+
+// noteGrantSent advances the sent-grant watermark so piggybacked grants
+// defer explicit credit messages.
+func (e *Endpoint) noteGrantSent(p *peer, g uint32) {
+	for {
+		last := p.grantSent.Load()
+		if int32(g-last) <= 0 {
+			return
+		}
+		if p.grantSent.CompareAndSwap(last, g) {
+			return
+		}
+	}
+}
+
+// maybeGrant sends an explicit credit refill once the peer has consumed
+// half a window beyond the last grant it was told about.
+func (e *Endpoint) maybeGrant(p *peer, from transport.Addr) {
+	c := p.consumed.Load()
+	last := p.grantSent.Load()
+	if c-last < e.window/2 {
+		return
+	}
+	if !p.grantSent.CompareAndSwap(last, c) {
+		return // another goroutine is granting
+	}
+	e.m.creditsSent.Inc()
+	// sendCtrl re-reads consumed (>= c) and re-advances the watermark.
+	_ = e.sendCtrl(p, from, &Header{Type: TypeCredit})
+}
+
+// ----------------------------------------------------------- receive side --
+
+// postOneRecv checks a buffer out of the receive pool and posts it.
+func (e *Endpoint) postOneRecv() error {
+	// Pool buffers come back empty; a receive posts the full capacity.
+	buf := e.rxPool.Get()
+	buf = buf[:cap(buf)]
+	id := e.nextWR.Add(1)
+	e.rxMu.Lock()
+	e.rxBufs[id] = buf
+	e.rxMu.Unlock()
+	if err := e.qp.PostRecv(id, buf); err != nil {
+		e.rxMu.Lock()
+		delete(e.rxBufs, id)
+		e.rxMu.Unlock()
+		e.rxPool.Put(buf)
+		return err
+	}
+	return nil
+}
+
+// pollLoop drains the receive CQ: untagged completions carry msg-layer
+// headers; advisory errors are counted. Write-Record placement completions
+// are routed to onPlacement by the QP hook and normally never appear here.
+func (e *Endpoint) pollLoop() {
+	defer e.wg.Done()
+	for {
+		cqe, err := e.recvCQ.Poll(100 * time.Millisecond)
+		if err != nil {
+			select {
+			case <-e.done:
+				for { // QP closed and flushed: drain what remains, then exit
+					cqe, err := e.recvCQ.Poll(0)
+					if err != nil {
+						return
+					}
+					e.handleCQE(cqe)
+				}
+			default:
+			}
+			continue
+		}
+		e.handleCQE(cqe)
+	}
+}
+
+// sendDrain discards send completions so a full send CQ can never stall
+// the QP or steal depth from receives.
+func (e *Endpoint) sendDrain() {
+	defer e.wg.Done()
+	for {
+		_, err := e.sendCQ.Poll(100 * time.Millisecond)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+func (e *Endpoint) handleCQE(cqe iwarp.CQE) {
+	switch cqe.Type {
+	case iwarp.WTRecv:
+		e.handleRecv(cqe)
+	case iwarp.WTWriteRecordRecv:
+		e.onPlacement(cqe) // defensive: hook normally intercepts these
+	default:
+		if cqe.Type == iwarp.WTError {
+			e.m.advisories.Inc()
+		}
+	}
+}
+
+func (e *Endpoint) handleRecv(cqe iwarp.CQE) {
+	e.rxMu.Lock()
+	buf, ok := e.rxBufs[cqe.WRID]
+	if ok {
+		delete(e.rxBufs, cqe.WRID)
+	}
+	e.rxMu.Unlock()
+	if !ok {
+		return
+	}
+	if cqe.Status != iwarp.StatusSuccess {
+		// Flushed at close, or consumed by a length error: recycle, and
+		// keep the ring full while the endpoint lives.
+		e.rxPool.Put(buf)
+		if cqe.Status != iwarp.StatusFlushed && !e.closed.Load() {
+			_ = e.postOneRecv()
+		}
+		return
+	}
+	// Repost before dispatch: the ring stays full even if the handler or
+	// a control send blocks, so transport-level windows keep opening and
+	// bidirectional saturation cannot deadlock the credit protocol.
+	if !e.closed.Load() {
+		_ = e.postOneRecv()
+	}
+	e.dispatch(cqe.Src, buf, cqe.ByteLen)
+}
+
+// dispatch parses and routes one untagged message. It owns buf: eager
+// delivery hands it to the handler (released via Message.Release), every
+// other path returns it to the pool here.
+func (e *Endpoint) dispatch(from transport.Addr, buf []byte, n int) {
+	h, err := parseHeader(buf[:n])
+	if err != nil {
+		e.m.badHeaders.Inc()
+		e.rxPool.Put(buf)
+		return
+	}
+	p := e.peer(from)
+	p.applyGrant(h.Grant, e.window)
+	switch h.Type {
+	case TypeEager:
+		e.handleEager(p, from, buf, n, &h)
+		return // handleEager owns buf
+	case TypeRTS:
+		e.handleRTS(p, from, &h)
+	case TypeCTS:
+		e.handleCTS(p, &h)
+	case TypeFIN:
+		e.handleFIN(from, &h)
+	case TypeCredit:
+		// applyGrant above did the work.
+	}
+	e.rxPool.Put(buf)
+}
+
+// handleEager delivers one eager message: the single payload copy already
+// happened (wire into this posted receive); the handler gets the bytes in
+// place.
+//
+//diwarp:hotpath
+func (e *Endpoint) handleEager(p *peer, from transport.Addr, buf []byte, n int, h *Header) {
+	want := HeaderLen + int(h.Length)
+	if want != n {
+		e.m.badHeaders.Inc()
+		e.rxPool.Put(buf)
+		return
+	}
+	p.consumed.Add(1)
+	e.m.eagerRecv.Inc()
+	e.m.eagerBytes.Add(int64(h.Length))
+	e.nEagerRecv.Add(1)
+	e.cfg.Handler(Message{From: from, Data: buf[HeaderLen:n], ep: e, buf: buf})
+	e.maybeGrant(p, from)
+}
+
+// handleRTS opens (or idempotently re-answers) an inbound rendezvous:
+// check a sink out of the pool, register it for remote write, advertise
+// the steering tag with a CTS.
+func (e *Endpoint) handleRTS(p *peer, from transport.Addr, h *Header) {
+	if h.Length == 0 || h.Length > MaxMessageSize {
+		e.m.badHeaders.Inc()
+		return
+	}
+	k := inKey{from: from, id: h.MsgID}
+	e.mu.Lock()
+	in := e.inbound[k]
+	if in == nil {
+		buf := e.sinks.get(int(h.Length))
+		region, err := e.tbl.Register(e.pd, buf, memreg.RemoteWrite)
+		if err != nil {
+			e.sinks.put(buf)
+			e.mu.Unlock()
+			e.m.badHeaders.Inc()
+			return
+		}
+		in = &inboundRdv{
+			key:    k,
+			region: region,
+			stag:   region.STag(),
+			buf:    buf,
+			n:      h.Length,
+			born:   time.Now(),
+		}
+		e.inbound[k] = in
+		e.byStag[in.stag] = in
+		e.m.rdvOpen.Add(1)
+	}
+	stag, to := in.stag, uint64(0)
+	e.mu.Unlock()
+	// A lost CTS makes the sender re-RTS after timeout; the entry above
+	// is reused and this resend is idempotent.
+	_ = e.sendCtrl(p, from, &Header{Type: TypeCTS, MsgID: h.MsgID, STag: uint32(stag), Length: h.Length, TO: to})
+}
+
+// handleCTS hands the steering tag to the waiting sender.
+func (e *Endpoint) handleCTS(p *peer, h *Header) {
+	p.pendMu.Lock()
+	ch := p.pending[h.MsgID]
+	p.pendMu.Unlock()
+	if ch == nil {
+		return // timed out, completed, or duplicate
+	}
+	select {
+	case ch <- *h:
+	default: // duplicate CTS
+	}
+}
+
+// handleFIN marks the sender done; completion still requires every byte
+// placed (FIN can outrun tagged data on a reordering network).
+func (e *Endpoint) handleFIN(from transport.Addr, h *Header) {
+	e.mu.Lock()
+	in := e.inbound[inKey{from: from, id: h.MsgID}]
+	if in == nil {
+		e.mu.Unlock()
+		return
+	}
+	in.finSeen = true
+	e.mu.Unlock()
+	e.maybeComplete(in)
+}
+
+// onPlacement is the QP's placement-completion hook: one successful
+// Write-Record landed in some registered region. Runs on a placement
+// worker; must not block.
+func (e *Endpoint) onPlacement(cqe iwarp.CQE) {
+	if cqe.Status != iwarp.StatusSuccess {
+		return
+	}
+	e.mu.Lock()
+	in := e.byStag[cqe.STag]
+	e.mu.Unlock()
+	if in == nil {
+		return // late data for a swept or completed transfer
+	}
+	e.maybeComplete(in)
+}
+
+// maybeComplete delivers the transfer iff FIN has arrived and the sink's
+// validity map covers the whole payload. Exactly-once: the winner flips
+// done under the lock.
+func (e *Endpoint) maybeComplete(in *inboundRdv) {
+	e.mu.Lock()
+	if in.done || !in.finSeen {
+		e.mu.Unlock()
+		return
+	}
+	v := in.region.Validity()
+	if v.Covered() < in.n {
+		e.mu.Unlock()
+		return
+	}
+	in.done = true
+	delete(e.inbound, in.key)
+	delete(e.byStag, in.stag)
+	e.mu.Unlock()
+
+	_ = e.tbl.Deregister(in.stag)
+	e.m.rdvOpen.Add(-1)
+	e.m.rdvRecv.Inc()
+	e.m.rdvBytes.Add(int64(in.n))
+	e.nRdvRecv.Add(1)
+	e.nRdvBytes.Add(int64(in.n))
+	e.cfg.Handler(Message{
+		From:       in.key.from,
+		Data:       in.buf[:in.n],
+		Rendezvous: true,
+		ep:         e,
+		buf:        in.buf,
+	})
+}
+
+// sweepLoop reaps inbound rendezvous whose sender vanished: a sink past
+// RendezvousTimeout with no placement progress across two consecutive
+// sweeps is deregistered and its buffer reclaimed.
+func (e *Endpoint) sweepLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+		}
+		e.sweepInbound(time.Now())
+	}
+}
+
+func (e *Endpoint) sweepInbound(now time.Time) {
+	var reap []*inboundRdv
+	e.mu.Lock()
+	for _, in := range e.inbound {
+		if now.Sub(in.born) < e.cfg.RendezvousTimeout {
+			continue
+		}
+		v := in.region.Validity()
+		if c := v.Covered(); c > in.lastCovered {
+			in.lastCovered = c
+			in.staleSweeps = 0
+			continue
+		}
+		in.staleSweeps++
+		if in.staleSweeps < 2 {
+			continue
+		}
+		in.done = true
+		delete(e.inbound, in.key)
+		delete(e.byStag, in.stag)
+		reap = append(reap, in)
+	}
+	e.mu.Unlock()
+	for _, in := range reap {
+		_ = e.tbl.Deregister(in.stag)
+		e.sinks.put(in.buf)
+		e.m.rdvOpen.Add(-1)
+		e.m.rdvSwept.Inc()
+		e.nRdvSwept.Add(1)
+	}
+}
+
+// Close shuts the endpoint down: the QP closes (flushing posted receives),
+// the dispatch goroutines drain and exit, and every internal buffer
+// returns to its pool. Messages already delivered to the handler remain
+// valid until their Release.
+func (e *Endpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	err := e.qp.Close()
+	close(e.done)
+	e.wg.Wait()
+	// Belt and braces: recycle any receive buffer whose flush completion
+	// was lost to CQ overrun.
+	e.rxMu.Lock()
+	for id, b := range e.rxBufs {
+		delete(e.rxBufs, id)
+		e.rxPool.Put(b)
+	}
+	e.rxMu.Unlock()
+	// Tear down inbound rendezvous state.
+	e.mu.Lock()
+	var ins []*inboundRdv
+	for _, in := range e.inbound {
+		in.done = true
+		ins = append(ins, in)
+	}
+	e.inbound = make(map[inKey]*inboundRdv)
+	e.byStag = make(map[memreg.STag]*inboundRdv)
+	e.mu.Unlock()
+	for _, in := range ins {
+		_ = e.tbl.Deregister(in.stag)
+		e.sinks.put(in.buf)
+		e.m.rdvOpen.Add(-1)
+	}
+	return err
+}

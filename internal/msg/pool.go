@@ -1,0 +1,77 @@
+// sinkPool: size-classed recycling for rendezvous sink buffers. Rendezvous
+// payloads span 16 KiB to 1 GiB, so a single fixed-size pool (nio.Pool)
+// does not fit; buffers are binned by power-of-two capacity with a small
+// idle stack per class. The gets/puts ledger mirrors nio.Pool's so the
+// chaos suite can assert balance at quiesce.
+package msg
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minSinkCap floors the allocation class so tiny forced-rendezvous
+	// transfers (tests, probes) still recycle.
+	minSinkCap = 4 << 10
+	// maxIdlePerClass bounds retained idle buffers per size class; beyond
+	// it buffers fall to the garbage collector.
+	maxIdlePerClass = 8
+)
+
+// sinkClass returns the pow2 capacity bucket for an n-byte sink.
+func sinkClass(n int) int {
+	if n <= minSinkCap {
+		return minSinkCap
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+type sinkPool struct {
+	mu      sync.Mutex
+	byClass map[int][][]byte
+	gets    atomic.Int64
+	puts    atomic.Int64
+}
+
+func newSinkPool() *sinkPool {
+	return &sinkPool{byClass: make(map[int][][]byte)}
+}
+
+// get returns a sink of length n (capacity the class's power of two),
+// recycled when a buffer of the right class is idle.
+func (s *sinkPool) get(n int) []byte {
+	s.gets.Add(1)
+	c := sinkClass(n)
+	s.mu.Lock()
+	stack := s.byClass[c]
+	if len(stack) > 0 {
+		b := stack[len(stack)-1]
+		s.byClass[c] = stack[:len(stack)-1]
+		s.mu.Unlock()
+		return b[:n]
+	}
+	s.mu.Unlock()
+	return make([]byte, n, c)
+}
+
+// put returns a sink obtained from get. Foreign-capacity buffers are
+// dropped without being counted, mirroring nio.Pool's ledger rules.
+func (s *sinkPool) put(b []byte) {
+	c := cap(b)
+	if c < minSinkCap || c&(c-1) != 0 {
+		return
+	}
+	s.puts.Add(1)
+	s.mu.Lock()
+	if len(s.byClass[c]) < maxIdlePerClass {
+		s.byClass[c] = append(s.byClass[c], b[:c])
+	}
+	s.mu.Unlock()
+}
+
+// outstanding reports sinks checked out and not yet returned.
+func (s *sinkPool) outstanding() int64 {
+	return s.gets.Load() - s.puts.Load()
+}

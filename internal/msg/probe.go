@@ -1,0 +1,102 @@
+// Crossover auto-probe: measures where rendezvous starts beating eager on
+// this host and caches the answer for Config.AutoProbe. The probe runs two
+// endpoints over a loopback simnet and times a burst of transfers per size
+// with each datapath forced (forcing is pure threshold arithmetic: eager is
+// forced by threshold = size, rendezvous by threshold = size-1), picking
+// the first size where rendezvous wins. The measurement is a coarse
+// stand-in for the per-deployment sweep EXPERIMENTS.md records with
+// BenchmarkMsgSend and tensorbench.
+package msg
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+var (
+	crossOnce   sync.Once
+	crossCached int
+)
+
+// Crossover returns the measured eager/rendezvous crossover threshold in
+// bytes, probing once per process. On any probe failure it falls back to
+// DefaultEagerThreshold.
+func Crossover() int {
+	crossOnce.Do(func() {
+		crossCached = measureCrossover()
+	})
+	return crossCached
+}
+
+// probe geometry: sizes bracketing the plausible crossover band, and
+// enough transfers per point to amortize setup jitter.
+var probeSizes = []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+
+const probeTransfers = 16
+
+func measureCrossover() int {
+	for _, size := range probeSizes {
+		eager, ok1 := timeProbe(size, size) // threshold = size: eager path
+		rdv, ok2 := timeProbe(size, size-1) // threshold = size-1: rendezvous
+		if ok1 && ok2 && rdv < eager {
+			return size - 1 // messages of `size` and up go rendezvous
+		}
+	}
+	return DefaultEagerThreshold
+}
+
+// timeProbe measures the wall time of probeTransfers sequential transfers
+// of `size` bytes with the given forced threshold.
+func timeProbe(size, threshold int) (time.Duration, bool) {
+	net := simnet.New(simnet.Config{})
+	epA, err := net.OpenDatagram("probe-a", 1)
+	if err != nil {
+		return 0, false
+	}
+	epB, err := net.OpenDatagram("probe-b", 1)
+	if err != nil {
+		return 0, false
+	}
+	got := make(chan int, probeTransfers)
+	cfg := Config{
+		EagerThreshold: threshold,
+		RecvDepth:      64,
+		Handler: func(m Message) {
+			n := len(m.Data)
+			m.Release()
+			got <- n
+		},
+	}
+	b, err := Open(epB, cfg)
+	if err != nil {
+		return 0, false
+	}
+	defer b.Close()
+	cfg.Handler = func(m Message) { m.Release() }
+	a, err := Open(epA, cfg)
+	if err != nil {
+		return 0, false
+	}
+	defer a.Close()
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	to := transport.Addr{Node: "probe-b", Port: 1}
+	start := time.Now()
+	for i := 0; i < probeTransfers; i++ {
+		if err := a.Send(to, payload); err != nil {
+			return 0, false
+		}
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			return 0, false
+		}
+	}
+	return time.Since(start), true
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package msg
+
+// raceEnabled widens allocation-accounting bounds: the race detector's
+// shadow memory and sync instrumentation inflate TotalAlloc.
+const raceEnabled = true

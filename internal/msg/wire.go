@@ -1,0 +1,121 @@
+// Package msg is the eager/rendezvous message layer of the stack: it
+// transfers arbitrarily large application messages over a datagram queue
+// pair, choosing per message between two datapaths the way the MPI
+// libraries the paper's scalability argument targets do (MPICH2 over
+// InfiniBand, PAPERS.md; DESIGN.md §4.11):
+//
+//   - eager: messages at or below a configurable threshold ride a single
+//     untagged send — the payload is gathered straight into pooled wire
+//     segments (one copy, into the posted receive at the target), bounded
+//     by per-peer credit-based flow control;
+//   - rendezvous: larger messages are advertised with an RTS control
+//     message; the receiver registers a sink buffer and answers with a CTS
+//     carrying its steering tag; the sender then streams the payload with
+//     tagged Write-Record placement — zero staging copies in either
+//     direction, the claim-based direct placement of DESIGN.md §4.7 landing
+//     wire bytes in the sink — and a FIN fires the receiver's delivery
+//     callback once every byte is placed.
+//
+// This file owns the control-channel wire format. Every msg-layer message
+// travels as one untagged send on the underlying QP, prefixed by a fixed
+// 32-byte big-endian header; eager payload follows the header in the same
+// message. The format is covered by FuzzMsgHeader and the wirecheck
+// analyzer (big-endian, in-bounds field access).
+package msg
+
+import (
+	"errors"
+
+	"repro/internal/nio"
+)
+
+// Control-message types. The values are wire format: changing one breaks
+// interoperability with every deployed peer.
+const (
+	// TypeEager carries a complete application message as header+payload.
+	TypeEager = 0x01
+	// TypeRTS (request to send) opens a rendezvous: Length announces the
+	// payload size, MsgID names the transfer in every later message.
+	TypeRTS = 0x02
+	// TypeCTS (clear to send) answers an RTS: STag and TO name the sink
+	// the receiver registered for MsgID.
+	TypeCTS = 0x03
+	// TypeFIN closes a rendezvous: the sender has handed every payload
+	// byte to the transport as tagged Write-Record traffic.
+	TypeFIN = 0x04
+	// TypeCredit is a pure eager-flow-control refill: Grant carries the
+	// receiver's cumulative delivered-eager count.
+	TypeCredit = 0x05
+)
+
+// HeaderLen is the fixed size of every msg-layer control header. The
+// layout, all fields big-endian (network order):
+//
+//	[0]     Type
+//	[1]     Flags (reserved, must be zero)
+//	[2:4]   Reserved (must be zero)
+//	[4:8]   MsgID
+//	[8:12]  Grant   — cumulative eager-delivery grant, piggybacked on
+//	                  every control message (DESIGN.md §4.11 flow control)
+//	[12:16] STag    — CTS only, else zero
+//	[16:24] Length  — payload bytes (EAGER/RTS/FIN), else zero
+//	[24:32] TO      — sink target offset (CTS only, else zero)
+const HeaderLen = 32
+
+// Header is one decoded msg-layer control header.
+type Header struct {
+	Type   uint8
+	MsgID  uint32
+	Grant  uint32
+	STag   uint32
+	Length uint64
+	TO     uint64
+}
+
+// Wire-format errors, deliberately allocation-free sentinels: decode runs
+// on the eager fast path.
+var (
+	ErrShortHeader = errors.New("msg: truncated header")
+	ErrBadType     = errors.New("msg: unknown control-message type")
+	ErrBadReserved = errors.New("msg: reserved header bits set")
+)
+
+// appendHeader appends h's 32-byte wire encoding to dst and returns the
+// extended slice. dst comes from the endpoint's header pool with the
+// capacity preallocated, so steady-state encoding never allocates.
+//
+//diwarp:hotpath
+func appendHeader(dst []byte, h *Header) []byte {
+	dst = append(dst, h.Type, 0, 0, 0)
+	dst = nio.PutU32(dst, h.MsgID)
+	dst = nio.PutU32(dst, h.Grant)
+	dst = nio.PutU32(dst, h.STag)
+	dst = nio.PutU64(dst, h.Length)
+	dst = nio.PutU64(dst, h.TO)
+	return dst
+}
+
+// parseHeader decodes the header at the front of b. It rejects truncated
+// input, unknown types, and set reserved bits; it never panics on hostile
+// bytes (FuzzMsgHeader's contract).
+//
+//diwarp:hotpath
+func parseHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, ErrShortHeader
+	}
+	h.Type = b[0]
+	if h.Type < TypeEager || h.Type > TypeCredit {
+		return h, ErrBadType
+	}
+	if b[1] != 0 || b[2] != 0 || b[3] != 0 {
+		return h, ErrBadReserved
+	}
+	h.MsgID = nio.U32(b[4:])
+	h.Grant = nio.U32(b[8:])
+	h.STag = nio.U32(b[12:])
+	h.Length = nio.U64(b[16:])
+	h.TO = nio.U64(b[24:])
+	return h, nil
+}

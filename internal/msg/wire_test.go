@@ -1,0 +1,86 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Header{
+		{Type: TypeEager, Grant: 7, Length: 1 << 14},
+		{Type: TypeRTS, MsgID: 42, Grant: 1<<32 - 1, Length: 1 << 30},
+		{Type: TypeCTS, MsgID: 42, STag: 0xdeadbeef, Length: 4096, TO: 512},
+		{Type: TypeFIN, MsgID: 42, Length: 4096},
+		{Type: TypeCredit, Grant: 99},
+	}
+	for _, h := range cases {
+		b := appendHeader(nil, &h)
+		if len(b) != HeaderLen {
+			t.Fatalf("encoded %d bytes, want %d", len(b), HeaderLen)
+		}
+		got, err := parseHeader(b)
+		if err != nil {
+			t.Fatalf("parse %+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderAppendPreserves(t *testing.T) {
+	prefix := []byte("prefix")
+	h := Header{Type: TypeRTS, MsgID: 5, Length: 100}
+	b := appendHeader(append([]byte(nil), prefix...), &h)
+	if !bytes.HasPrefix(b, prefix) || len(b) != len(prefix)+HeaderLen {
+		t.Fatalf("append clobbered prefix: %q", b)
+	}
+	if _, err := parseHeader(b[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	good := appendHeader(nil, &Header{Type: TypeEager, Length: 10})
+
+	if _, err := parseHeader(good[:HeaderLen-1]); err != ErrShortHeader {
+		t.Fatalf("short: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x00
+	if _, err := parseHeader(bad); err != ErrBadType {
+		t.Fatalf("type 0: %v", err)
+	}
+	bad[0] = TypeCredit + 1
+	if _, err := parseHeader(bad); err != ErrBadType {
+		t.Fatalf("type high: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		bad = append(bad[:0], good...)
+		bad[i] = 0x80
+		if _, err := parseHeader(bad); err != ErrBadReserved {
+			t.Fatalf("reserved byte %d: %v", i, err)
+		}
+	}
+}
+
+// FuzzMsgHeader pins the codec's hostile-input contract: parseHeader never
+// panics, and any header it accepts re-encodes to the identical 32 bytes
+// (the format has no non-canonical encodings).
+func FuzzMsgHeader(f *testing.F) {
+	f.Add(appendHeader(nil, &Header{Type: TypeEager, Grant: 3, Length: 512}))
+	f.Add(appendHeader(nil, &Header{Type: TypeCTS, MsgID: 9, STag: 0xabc, Length: 1 << 20, TO: 64}))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Add(make([]byte, HeaderLen+100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := parseHeader(data)
+		if err != nil {
+			return
+		}
+		out := appendHeader(nil, &h)
+		if !bytes.Equal(out, data[:HeaderLen]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:HeaderLen], out)
+		}
+	})
+}

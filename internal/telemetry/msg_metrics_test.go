@@ -1,0 +1,122 @@
+package telemetry_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+)
+
+// TestMsgMetricNames pins the metric names the message layer exports
+// (DESIGN.md §4.11). diwarp-top and dashboards key on these strings;
+// renaming one must fail a test, not a production scrape. The test drives
+// one eager and one rendezvous transfer so both datapath counters move.
+func TestMsgMetricNames(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	epA, err := net.OpenDatagram("scrape-a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.OpenDatagram("scrape-b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 8)
+	cfg := msg.Config{EagerThreshold: 1024, Handler: func(m msg.Message) {
+		n := len(m.Data)
+		m.Release()
+		got <- n
+	}}
+	b, err := msg.Open(epB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg.Handler = func(m msg.Message) { m.Release() }
+	a, err := msg.Open(epA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	for _, size := range []int{256, 64 << 10} { // eager, then rendezvous
+		if err := a.Send(b.LocalAddr(), make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%d-byte transfer never delivered", size)
+		}
+	}
+
+	addr, stop, err := telemetry.Serve("127.0.0.1:0", telemetry.Default, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Counters that must be present and moving after the traffic above.
+	for _, name := range []string{
+		"diwarp_msg_eager_sent_total",
+		"diwarp_msg_eager_recv_total",
+		"diwarp_msg_rdv_sent_total",
+		"diwarp_msg_rdv_recv_total",
+		"diwarp_msg_eager_bytes_total",
+		"diwarp_msg_rdv_bytes_total",
+	} {
+		v, ok := scrapeValue(text, name)
+		if !ok {
+			t.Errorf("counter %s missing from scrape", name)
+		} else if v == 0 {
+			t.Errorf("counter %s never moved", name)
+		}
+	}
+	// Counters that must exist even when zero.
+	for _, name := range []string{
+		"diwarp_msg_credit_stalls_total",
+		"diwarp_msg_credit_reclaims_total",
+		"diwarp_msg_credits_sent_total",
+		"diwarp_msg_rdv_swept_total",
+		"diwarp_msg_rdv_timeouts_total",
+		"diwarp_msg_bad_headers_total",
+		"diwarp_msg_advisories_total",
+	} {
+		if _, ok := scrapeValue(text, name); !ok {
+			t.Errorf("counter %s missing from scrape", name)
+		}
+	}
+	// The open-rendezvous gauge must read 0 at quiesce.
+	if v, ok := scrapeValue(text, "diwarp_msg_rdv_open"); !ok {
+		t.Error("gauge diwarp_msg_rdv_open missing from scrape")
+	} else if v != 0 {
+		t.Errorf("diwarp_msg_rdv_open = %d at quiesce, want 0", v)
+	}
+	// Histograms: the size (crossover) histogram and rendezvous latency.
+	for _, name := range []string{"diwarp_msg_send_bytes", "diwarp_msg_rdv_us"} {
+		v, ok := scrapeValue(text, name+"_count")
+		if !ok {
+			t.Errorf("histogram %s missing from scrape", name)
+		} else if v == 0 {
+			t.Errorf("histogram %s never observed a transfer", name)
+		}
+		if !strings.Contains(text, name+"_bucket{le=") {
+			t.Errorf("histogram %s has no buckets in scrape", name)
+		}
+	}
+}
