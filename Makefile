@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-portable race vet lint lint-concurrency fuzz-short bench bench-datapath bench-smoke telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race check clean
+.PHONY: all build test test-portable race vet lint lint-concurrency fuzz-short bench bench-datapath bench-smoke telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race soak-smoke check clean
 
 all: build
 
@@ -91,8 +91,15 @@ chaos-smoke:
 chaos-smoke-race:
 	$(GO) test -race -count=1 ./internal/faultnet/ ./internal/faultnet/chaos/ ./internal/sockif/
 
+# A truncated many-peer soak (DESIGN.md §4.12): 1k live reliable-datagram
+# conversations on one simnet hub, exiting non-zero unless occupancy,
+# delivery, and the retransmit-wheel quiescence invariant all hold. The
+# full 100k run is the same command with -soak-peers 100000.
+soak-smoke:
+	$(GO) run ./cmd/iwarpd -soak-peers 1000 -duration 2s
+
 # What CI should run.
-check: build vet test test-portable race lint lint-concurrency telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race
+check: build vet test test-portable race lint lint-concurrency telemetry-smoke tensorbench-smoke chaos-smoke chaos-smoke-race soak-smoke
 
 clean:
 	rm -rf bin

@@ -83,6 +83,9 @@ func render(w io.Writer, addr string, cur, prev *telemetry.Snapshot, interval ti
 	if line := msgSummary(cur, prev, interval); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	if line := peertabSummary(cur); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 
 	if len(cur.Counters) > 0 {
@@ -149,6 +152,24 @@ func msgSummary(cur, prev *telemetry.Snapshot, interval time.Duration) string {
 		cur.Gauges["diwarp_msg_rdv_open"],
 		cur.Counters["diwarp_msg_credit_stalls_total"],
 		cur.Counters["diwarp_msg_rdv_swept_total"])
+}
+
+// peertabSummary condenses the sharded peer tables (DESIGN.md §4.12) into
+// one row: live peers across every table in the process, the most- and
+// least-loaded stripes (imbalance at a glance), and the lifecycle counters
+// — idle/capacity evictions and admission rejects. Empty when the daemon
+// exports no peertab metrics.
+func peertabSummary(cur *telemetry.Snapshot) string {
+	occ, ok := cur.Gauges["diwarp_peertab_occupancy"]
+	if !ok {
+		return "" // no peer tables in this daemon
+	}
+	return fmt.Sprintf("peer tables: %s peers · shard max/min %d/%d · evicted %s · rejected %s",
+		telemetry.FormatValue(occ),
+		cur.Gauges["diwarp_peertab_shard_max"],
+		cur.Gauges["diwarp_peertab_shard_min"],
+		telemetry.FormatValue(cur.Counters["diwarp_peertab_evictions_total"]),
+		telemetry.FormatValue(cur.Counters["diwarp_peertab_admission_rejects_total"]))
 }
 
 func sortedKeys(m map[string]int64) []string {

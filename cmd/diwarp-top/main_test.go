@@ -50,3 +50,31 @@ func TestMsgSummaryRow(t *testing.T) {
 		t.Errorf("expected empty summary without msg metrics, got %q", line)
 	}
 }
+
+// TestPeertabSummaryRow pins the peer-table row: occupancy, stripe
+// imbalance, and lifecycle counters when the daemon exports
+// diwarp_peertab_* metrics, absent when it does not.
+func TestPeertabSummaryRow(t *testing.T) {
+	cur := &telemetry.Snapshot{
+		Counters: map[string]int64{
+			"diwarp_peertab_evictions_total":         7,
+			"diwarp_peertab_admission_rejects_total": 3,
+		},
+		Gauges: map[string]int64{
+			"diwarp_peertab_occupancy": 100000,
+			"diwarp_peertab_shard_max": 60,
+			"diwarp_peertab_shard_min": 41,
+		},
+	}
+	line := peertabSummary(cur)
+	for _, want := range []string{"peer tables:", "100,000 peers", "shard max/min 60/41", "evicted 7", "rejected 3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("summary %q missing %q", line, want)
+		}
+	}
+
+	// A daemon with no peer tables gets no row.
+	if line := peertabSummary(&telemetry.Snapshot{Counters: map[string]int64{}}); line != "" {
+		t.Errorf("expected empty summary without peertab metrics, got %q", line)
+	}
+}

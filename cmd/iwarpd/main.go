@@ -26,6 +26,7 @@ import (
 	iwarp "repro/internal/core"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/rudp"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -51,9 +52,18 @@ func main() {
 
 		chaosMode = flag.Bool("chaos", false, "soak mode: sweep the fault-injection schedule suite (see internal/faultnet/chaos) until -duration elapses")
 		chaosSeed = flag.Int64("chaos-seed", 0, "base seed for -chaos (0 = derive from clock; failures always print the seed)")
+
+		soakPeers = flag.Int("soak-peers", 0, "soak mode: hold this many live reliable-datagram peers on one simnet hub and report per-peer memory (uses -duration for the hold phase)")
 	)
 	flag.Parse()
 
+	if *soakPeers > 0 {
+		cfg := rudp.SoakConfig{Peers: *soakPeers, Duration: *dur, Progress: log.Printf}
+		if err := runSoakPeers(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *chaosMode {
 		if err := runChaos(*chaosSeed, *dur); err != nil {
 			log.Fatal(err)

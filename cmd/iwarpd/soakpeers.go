@@ -1,0 +1,23 @@
+package main
+
+import (
+	"log"
+
+	"repro/internal/rudp"
+)
+
+// runSoakPeers drives the many-peer soak: one reliable-datagram hub holding
+// `peers` live conversations over simnet, reporting the per-peer memory
+// figure and the peer-table shape. The rudp layer publishes the
+// diwarp_peertab_* gauges as it goes, so a concurrent -metrics scrape shows
+// the table filling. Exit status is the acceptance gate — a non-nil error
+// means an invariant (full occupancy, quiescent retransmit wheel, delivery)
+// failed, not just that a number looked bad.
+func runSoakPeers(cfg rudp.SoakConfig) error {
+	rep, err := rudp.SoakManyPeers(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("soak ok: %s", rep)
+	return nil
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotpath(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpath.Analyzer, "a", "telemetry", "msgpath")
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "a", "telemetry", "msgpath", "peertab")
 }

@@ -1,0 +1,104 @@
+// Package peertab mirrors the sharded peer table's datapath lookup
+// (internal/peertab, DESIGN.md §4.12): shard selection is pure hash
+// arithmetic and the read path is one atomic snapshot load plus one read of
+// an immutable map — no lock, no allocation. The fixture pins that this
+// idiom stays clean under the hotpath contract and that the tempting
+// shortcuts (locking the stripe on the read path, doing the copy-on-write
+// insert inline instead of outlining it) are flagged.
+package peertab
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type addr struct {
+	node string
+	port uint16
+}
+
+type entry struct {
+	key  addr
+	hits int
+}
+
+type shard struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[map[addr]*entry]
+}
+
+type table struct {
+	shards []shard
+	mask   uint32
+}
+
+// hashAddr is the chained FNV-1a shape: pure integer arithmetic.
+//
+//diwarp:hotpath
+func hashAddr(a addr) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(a.node); i++ {
+		h = (h ^ uint32(a.node[i])) * 16777619
+	}
+	h = (h ^ uint32(a.port&0xff)) * 16777619
+	return (h ^ uint32(a.port>>8)) * 16777619
+}
+
+// goodGet is the real Get shape: mask-select the stripe, one atomic load,
+// one map read from the immutable snapshot. Clean.
+//
+//diwarp:hotpath
+func (t *table) goodGet(a addr) *entry {
+	s := &t.shards[hashAddr(a)&t.mask]
+	return (*s.snap.Load())[a]
+}
+
+// goodTouch mutates through the entry pointer the snapshot handed out —
+// still no locks or allocation on the fast path.
+//
+//diwarp:hotpath
+func (t *table) goodTouch(a addr) bool {
+	e := t.goodGet(a)
+	if e == nil {
+		return false
+	}
+	e.hits++
+	return true
+}
+
+// badLockedGet guards the read path with the stripe lock — the global-mutex
+// demux this table exists to kill.
+//
+//diwarp:hotpath
+func (t *table) badLockedGet(a addr) *entry {
+	s := &t.shards[hashAddr(a)&t.mask]
+	s.mu.Lock() // want `takes a lock via sync method Lock`
+	var snap map[addr]*entry
+	if p := s.snap.Load(); p != nil {
+		snap = *p
+	}
+	e := snap[a]
+	s.mu.Unlock()
+	return e
+}
+
+// badInlineCreate performs the copy-on-write insert on the annotated path:
+// the map copy and the new entry both allocate. The real code outlines this
+// into the unannotated GetOrCreate slow path.
+//
+//diwarp:hotpath
+func (t *table) badInlineCreate(a addr) *entry {
+	s := &t.shards[hashAddr(a)&t.mask]
+	old := *s.snap.Load()
+	if e := old[a]; e != nil {
+		return e
+	}
+	next := make(map[addr]*entry, len(old)+1) // want `allocates with make`
+	for k, v := range old {
+		next[k] = v
+	}
+	e := &entry{key: a} // want `heap-allocates &composite literal`
+	next[a] = e
+	s.snap.Store(&next)
+	return e
+}

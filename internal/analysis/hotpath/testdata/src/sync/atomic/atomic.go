@@ -21,3 +21,11 @@ func (a *Uint32) Add(n uint32) uint32             { return a.v }
 func (a *Uint32) Load() uint32                    { return a.v }
 func (a *Uint32) Store(n uint32)                  {}
 func (a *Uint32) CompareAndSwap(o, n uint32) bool { return true }
+
+// Pointer mirrors atomic.Pointer[T]: the lock-free snapshot publication
+// primitive the sharded peer table's read path is built on.
+type Pointer[T any] struct{ v *T }
+
+func (p *Pointer[T]) Load() *T                    { return p.v }
+func (p *Pointer[T]) Store(v *T)                  {}
+func (p *Pointer[T]) CompareAndSwap(o, n *T) bool { return true }

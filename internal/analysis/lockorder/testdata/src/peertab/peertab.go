@@ -1,0 +1,75 @@
+// Package peertab mirrors the sharded peer table's two-level locking
+// (internal/peertab, DESIGN.md §4.12): structural changes take a stripe's
+// shard lock, peer-state mutations take the entry's fine-grained lock, and
+// the only legal nesting is shard.mu → entry.mu — declared on the entry
+// field so an inversion anywhere in the package is a mechanical finding.
+package peertab
+
+import "sync"
+
+type entry struct {
+	// The create path locks a fresh entry under its owning stripe's lock so
+	// the caller receives it alive; entry locks therefore nest strictly
+	// inside shard locks.
+	//diwarp:lockafter shard.mu
+	mu   sync.Mutex
+	gone bool
+}
+
+type shard struct {
+	mu   sync.Mutex
+	live map[string]*entry
+}
+
+// lockOrCreate is the real LockOrCreate shape: find-or-insert under the
+// shard lock, then take the entry lock before the stripe is released. The
+// declared order keeps this silent.
+func (s *shard) lockOrCreate(k string) *entry {
+	s.mu.Lock()
+	e := s.live[k]
+	if e == nil {
+		e = &entry{}
+		s.live[k] = e
+	}
+	e.mu.Lock()
+	s.mu.Unlock()
+	return e
+}
+
+// evictLocked is the real EvictEntry shape: stripe first, then the entry
+// lock to flip gone. Declared order again: silent.
+func (s *shard) evictLocked(k string) {
+	s.mu.Lock()
+	if e := s.live[k]; e != nil {
+		e.mu.Lock()
+		e.gone = true
+		e.mu.Unlock()
+		delete(s.live, k)
+	}
+	s.mu.Unlock()
+}
+
+// evictInverted holds a peer's entry lock while acquiring its stripe's —
+// the deadlock the declared order exists to catch (a concurrent
+// lockOrCreate holds the stripe and wants the entry).
+func (s *shard) evictInverted(k string, e *entry) {
+	e.mu.Lock()
+	s.mu.Lock() // want `shard.mu acquired while holding entry.mu inverts the declared lock order \(entry.mu is //diwarp:lockafter shard.mu\)`
+	delete(s.live, k)
+	s.mu.Unlock()
+	e.gone = true
+	e.mu.Unlock()
+}
+
+// touchThenEvict releases the entry lock before going back to the stripe —
+// the legal sequential idiom on the eviction path; no edge, no report.
+func (s *shard) touchThenEvict(k string, e *entry) {
+	e.mu.Lock()
+	stale := e.gone
+	e.mu.Unlock()
+	if stale {
+		s.mu.Lock()
+		delete(s.live, k)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,100 @@
+// Package peertab mirrors the sharded peer table's unlock discipline
+// (internal/peertab, DESIGN.md §4.12). Two conventions meet here: the
+// shard lock is always released explicitly and symmetrically (COW insert,
+// eviction), while LockOrCreate hands the entry lock to its caller on
+// purpose. The fixture pins that the hand-off stays silent and that the
+// easy mistakes on the eviction path — returning with the stripe held,
+// leaking the entry lock on the gone-check early exit — are caught.
+package peertab
+
+import "sync"
+
+type entry struct {
+	mu   sync.Mutex
+	gone bool
+	hits int
+}
+
+type shard struct {
+	mu   sync.Mutex
+	live map[string]*entry
+}
+
+// getOrCreate is the real COW-insert shape: every path out of the shard
+// lock releases it explicitly. Silent.
+func (s *shard) getOrCreate(k string) *entry {
+	s.mu.Lock()
+	if e := s.live[k]; e != nil {
+		s.mu.Unlock()
+		return e
+	}
+	e := &entry{}
+	s.live[k] = e
+	s.mu.Unlock()
+	return e
+}
+
+// lockOrCreate hands the entry lock to the caller — no release of e.mu in
+// the body is the ownership-transfer convention, not a leak. The shard
+// lock is still symmetric.
+func (s *shard) lockOrCreate(k string) *entry {
+	s.mu.Lock()
+	e := s.live[k]
+	if e == nil {
+		e = &entry{}
+		s.live[k] = e
+	}
+	e.mu.Lock()
+	s.mu.Unlock()
+	return e
+}
+
+// touch is the caller-held convention's other half: entered with e.mu held
+// by lockOrCreate's caller, releases it when done. Silent.
+func touch(e *entry) {
+	e.hits++
+	e.mu.Unlock()
+}
+
+// evictLeakOnReject returns early when the entry is already gone — without
+// releasing the stripe it still holds.
+func (s *shard) evictLeakOnReject(k string) bool {
+	s.mu.Lock()
+	e := s.live[k]
+	if e == nil {
+		return false // want `returns while s.mu is still held`
+	}
+	e.mu.Lock()
+	e.gone = true
+	e.mu.Unlock()
+	delete(s.live, k)
+	s.mu.Unlock()
+	return true
+}
+
+// evictEntryLeak flips gone but forgets the entry lock on the winner path.
+func evictEntryLeak(e *entry) bool {
+	e.mu.Lock()
+	if e.gone {
+		e.mu.Unlock()
+		return false
+	}
+	e.gone = true
+	return true // want `returns while e.mu is still held`
+}
+
+// evictOK is the real EvictEntry shape: gone-flip under the entry lock with
+// both paths releasing, stripe symmetric. Silent.
+func (s *shard) evictOK(k string, e *entry) bool {
+	e.mu.Lock()
+	if e.gone {
+		e.mu.Unlock()
+		return false
+	}
+	e.gone = true
+	e.mu.Unlock()
+	s.mu.Lock()
+	delete(s.live, k)
+	s.mu.Unlock()
+	return true
+}

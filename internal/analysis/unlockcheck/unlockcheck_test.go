@@ -8,5 +8,5 @@ import (
 )
 
 func TestUnlockCheck(t *testing.T) {
-	analysistest.Run(t, "testdata", unlockcheck.Analyzer, "a")
+	analysistest.Run(t, "testdata", unlockcheck.Analyzer, "a", "peertab")
 }

@@ -25,11 +25,7 @@ func (qp *UDQP) Footprint() int64 {
 	n := int64(udQPOverhead)
 	n += int64(qp.rq.len()) * 24 // posted WR slots
 	n += qp.reasmBytes.Load()
-	qp.recMu.Lock()
-	for range qp.records {
-		n += 96 // tracker struct + validity intervals
-	}
-	qp.recMu.Unlock()
+	n += int64(qp.records.Len()) * 96 // tracker struct + validity intervals
 	return n
 }
 

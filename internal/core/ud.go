@@ -11,6 +11,7 @@ import (
 	"repro/internal/ddp"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/peertab"
 	"repro/internal/rdmap"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -87,11 +88,13 @@ type UDQP struct {
 	reasmBytes atomic.Int64   // snapshot of reassembler memory, for Footprint
 	msn        atomic.Uint32
 
-	recMu   sync.Mutex // guards records (Write-Record message trackers)
-	records map[wrKey]*wrTracker
-
-	readMu       sync.Mutex // guards pendingReads (outstanding UD reads)
-	pendingReads map[wrKey]*pendingUDRead
+	// Write-Record trackers and outstanding UD reads, sharded by peer+MSN
+	// (peertab): each key is only ever touched by its peer's placement
+	// worker, but the sweeper walks both tables, so tracker state is
+	// guarded by the entry lock and removal uses EvictEntry's exactly-once
+	// win to arbitrate completion against timeout.
+	records      *peertab.Table[wrKey, wrTracker]
+	pendingReads *peertab.Table[wrKey, pendingUDRead]
 
 	closed atomic.Bool
 	done   chan struct{}
@@ -186,6 +189,14 @@ type wrKey struct {
 	msn  uint32
 }
 
+// hashWrKey shards the tracker tables by peer and MSN with the same FNV-1a
+// discipline as every other peer table in the stack.
+func hashWrKey(k wrKey) uint32 {
+	h := peertab.HashString(peertab.Seed(), k.from.Node)
+	h = peertab.HashUint32(h, uint32(k.from.Port))
+	return peertab.HashUint32(h, k.msn)
+}
+
 // wrTracker accumulates placement state for a multi-segment Write-Record
 // message until its Last segment arrives (or it is swept).
 type wrTracker struct {
@@ -213,8 +224,8 @@ func OpenUD(ep transport.Datagram, pd *memreg.PD, tbl *memreg.Table, sendCQ, rec
 		recvCQ:       recvCQ,
 		cfg:          cfg,
 		rq:           newRecvQueue(cfg.RecvDepth),
-		records:      make(map[wrKey]*wrTracker),
-		pendingReads: make(map[wrKey]*pendingUDRead),
+		records:      peertab.New[wrKey, wrTracker](hashWrKey, peertab.Options{}),
+		pendingReads: peertab.New[wrKey, pendingUDRead](hashWrKey, peertab.Options{}),
 	}
 	qp.workers = make([]*udWorker, cfg.recvWorkers())
 	for i := range qp.workers {
@@ -598,27 +609,28 @@ func (qp *UDQP) handleWriteRecord(from transport.Addr, seg *ddp.Segment) {
 	}
 
 	key := wrKey{from: from, msn: seg.MSN}
-	qp.recMu.Lock()
-	tr, ok := qp.records[key]
-	if !ok {
-		tr = &wrTracker{stag: seg.STag, born: time.Now()}
-		qp.records[key] = tr
-	}
+	ent, _, _ := qp.records.LockOrCreate(key, func(ne *peertab.Entry[wrKey, wrTracker]) {
+		ne.V.stag = seg.STag
+		ne.V.born = time.Now()
+	})
+	tr := &ent.V
 	tr.validity.Add(seg.TO, uint64(len(seg.Payload)))
 	tr.placed += len(seg.Payload)
 	if !seg.Last {
-		qp.recMu.Unlock()
+		ent.Unlock()
 		return
 	}
 	// The Last segment carries enough to locate the message base: its TO
-	// plus its length minus the total message length.
-	delete(qp.records, key)
-	qp.recMu.Unlock()
+	// plus its length minus the total message length. Capture the tracker
+	// under its lock: the sweeper may evict the entry the moment we let go.
+	placed, stag, validity := tr.placed, tr.stag, tr.validity.Clone()
+	ent.Unlock()
+	qp.records.EvictEntry(ent)
 	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
 	qp.stats.msgsRecv.Inc()
 	qp.completeWR(CQE{
-		Type: WTWriteRecordRecv, ByteLen: tr.placed, Src: from,
-		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
+		Type: WTWriteRecordRecv, ByteLen: placed, Src: from,
+		STag: stag, TO: base, MsgLen: int(seg.MsgLen), Validity: validity,
 	})
 }
 
@@ -701,14 +713,15 @@ const udClaimOverhead = 160
 // the paper's design.
 func (qp *UDQP) sweepRecords(now time.Time) {
 	cutoff := now.Add(-qp.reasmTimeout())
-	qp.recMu.Lock()
-	for k, tr := range qp.records {
-		if tr.born.Before(cutoff) {
-			delete(qp.records, k)
+	qp.records.Range(func(ent *peertab.Entry[wrKey, wrTracker]) bool {
+		ent.Lock()
+		stale := !ent.Gone() && ent.V.born.Before(cutoff)
+		ent.Unlock()
+		if stale && qp.records.EvictEntry(ent) {
 			qp.stats.swept.Inc()
 		}
-	}
-	qp.recMu.Unlock()
+		return true
+	})
 }
 
 // flushRecvs completes every posted receive with StatusFlushed at close.

@@ -359,11 +359,7 @@ func injectOrphanSegment(t *testing.T, net *simnet.Network, to transport.Addr, s
 	_ = ch
 }
 
-func pendingRecords(qp *UDQP) int {
-	qp.recMu.Lock()
-	defer qp.recMu.Unlock()
-	return len(qp.records)
-}
+func pendingRecords(qp *UDQP) int { return qp.records.Len() }
 
 func TestUDWriteRecordInvalidSTagAdvisory(t *testing.T) {
 	net := simnet.New(simnet.Config{})

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ddp"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/peertab"
 	"repro/internal/rdmap"
 	"repro/internal/transport"
 )
@@ -67,17 +68,14 @@ func (qp *UDQP) PostRead(id uint64, dest transport.Addr, sinkSTag memreg.STag, s
 		SrcTO:    srcTO,
 	}
 	key := wrKey{from: dest, msn: msn}
-	qp.readMu.Lock()
-	qp.pendingReads[key] = &pendingUDRead{
-		id: id, sink: sinkSTag, sinkTO: sinkTO, length: length, born: time.Now(),
-	}
-	qp.readMu.Unlock()
+	// The MSN is unique per QP lifetime, so this always creates.
+	pent, _, _ := qp.pendingReads.GetOrCreate(key, func(ne *peertab.Entry[wrKey, pendingUDRead]) {
+		ne.V = pendingUDRead{id: id, sink: sinkSTag, sinkTO: sinkTO, length: length, born: time.Now()}
+	})
 
 	err = qp.ch.SendUntagged(dest, ddp.QNReadReq, msn, rdmap.Ctrl(rdmap.OpReadReq), nio.VecOf(req.Append(nil)))
 	if err != nil {
-		qp.readMu.Lock()
-		delete(qp.pendingReads, key)
-		qp.readMu.Unlock()
+		qp.pendingReads.EvictEntry(pent)
 		return err
 	}
 	return nil
@@ -119,101 +117,99 @@ func (qp *UDQP) handleReadReq(from transport.Addr, seg *ddp.Segment) {
 // segment against the matching outstanding read.
 func (qp *UDQP) handleReadResp(from transport.Addr, seg *ddp.Segment) {
 	key := wrKey{from: from, msn: seg.MSN}
-	qp.readMu.Lock()
-	pr, ok := qp.pendingReads[key]
-	qp.readMu.Unlock()
-	if !ok {
+	pent := qp.pendingReads.Get(key)
+	if pent == nil {
 		// Stale or duplicate response (e.g. its read already timed out).
 		return
 	}
+	pr := &pent.V // immutable after PostRead publishes the entry
 	region, err := qp.tbl.Lookup(seg.STag)
 	if err != nil || seg.STag != pr.sink {
 		qp.stats.placeErr.Add(1)
-		qp.failRead(key, pr, StatusRemoteInvalid, fmt.Errorf("iwarp: read response names unknown sink %#x", uint32(seg.STag)))
+		qp.failRead(key, pent, StatusRemoteInvalid, fmt.Errorf("iwarp: read response names unknown sink %#x", uint32(seg.STag)))
 		return
 	}
 	// Read responses target OUR OWN sink on our own behalf: LocalWrite
 	// suffices, matching the RC semantics.
 	if err := region.Place(qp.pd, memreg.LocalWrite, seg.TO, seg.Payload); err != nil {
 		qp.stats.placeErr.Add(1)
-		qp.failRead(key, pr, StatusLocalAccess, err)
+		qp.failRead(key, pent, StatusLocalAccess, err)
 		return
 	}
 	qp.stats.placed.Add(1)
 	qp.stats.bytesRecv.Add(int64(len(seg.Payload)))
 
-	qp.recMu.Lock()
-	tr, ok := qp.records[key]
-	if !ok {
-		tr = &wrTracker{stag: seg.STag, born: time.Now()}
-		qp.records[key] = tr
-	}
+	ent, _, _ := qp.records.LockOrCreate(key, func(ne *peertab.Entry[wrKey, wrTracker]) {
+		ne.V.stag = seg.STag
+		ne.V.born = time.Now()
+	})
+	tr := &ent.V
 	tr.validity.Add(seg.TO, uint64(len(seg.Payload)))
 	tr.placed += len(seg.Payload)
 	if !seg.Last {
-		qp.recMu.Unlock()
+		ent.Unlock()
 		return
 	}
-	delete(qp.records, key)
-	qp.recMu.Unlock()
+	placed, stag, validity := tr.placed, tr.stag, tr.validity.Clone()
+	ent.Unlock()
+	qp.records.EvictEntry(ent)
 
-	qp.readMu.Lock()
-	delete(qp.pendingReads, key)
-	qp.readMu.Unlock()
+	// Exactly one of completion, failRead, and the sweeper wins the pending
+	// entry; losers leave the CQE to the winner.
+	if !qp.pendingReads.EvictEntry(pent) {
+		return
+	}
 	qp.stats.msgsRecv.Add(1)
 	base := seg.TO + uint64(len(seg.Payload)) - uint64(seg.MsgLen)
 	qp.sendCQ.post(CQE{
-		WRID: pr.id, Type: WTRead, ByteLen: tr.placed, Src: from,
-		STag: tr.stag, TO: base, MsgLen: int(seg.MsgLen), Validity: tr.validity.Clone(),
+		WRID: pr.id, Type: WTRead, ByteLen: placed, Src: from,
+		STag: stag, TO: base, MsgLen: int(seg.MsgLen), Validity: validity,
 	})
 }
 
-// failRead completes an outstanding read unsuccessfully and drops its state.
-func (qp *UDQP) failRead(key wrKey, pr *pendingUDRead, status Status, err error) {
-	qp.readMu.Lock()
-	delete(qp.pendingReads, key)
-	qp.readMu.Unlock()
-	qp.recMu.Lock()
-	delete(qp.records, key)
-	qp.recMu.Unlock()
-	qp.sendCQ.post(CQE{WRID: pr.id, Type: WTRead, Status: status, Err: err, STag: pr.sink})
+// failRead completes an outstanding read unsuccessfully and drops its
+// state. The eviction's exactly-once win keeps a racing sweep or duplicate
+// response from double-completing the WR.
+func (qp *UDQP) failRead(key wrKey, pent *peertab.Entry[wrKey, pendingUDRead], status Status, err error) {
+	if !qp.pendingReads.EvictEntry(pent) {
+		return
+	}
+	if ent := qp.records.Get(key); ent != nil {
+		qp.records.EvictEntry(ent)
+	}
+	qp.sendCQ.post(CQE{WRID: pent.V.id, Type: WTRead, Status: status, Err: err, STag: pent.V.sink})
 }
 
 // sweepReads times out reads whose responses never completed.
 func (qp *UDQP) sweepReads(now time.Time) {
 	cutoff := now.Add(-qp.reasmTimeout())
-	type expired struct {
-		key wrKey
-		pr  *pendingUDRead
-	}
-	var dead []expired
-	qp.readMu.Lock()
-	for k, pr := range qp.pendingReads {
-		if pr.born.Before(cutoff) {
-			delete(qp.pendingReads, k)
-			dead = append(dead, expired{k, pr})
+	qp.pendingReads.Range(func(pent *peertab.Entry[wrKey, pendingUDRead]) bool {
+		if !pent.V.born.Before(cutoff) {
+			return true
 		}
-	}
-	qp.readMu.Unlock()
-	for _, d := range dead {
-		qp.recMu.Lock()
-		tr := qp.records[d.key]
-		delete(qp.records, d.key)
-		qp.recMu.Unlock()
-		qp.stats.swept.Add(1)
+		if !qp.pendingReads.EvictEntry(pent) {
+			return true // a response or failure beat the sweep to it
+		}
 		cqe := CQE{
-			WRID: d.pr.id, Type: WTRead, Status: StatusTimedOut,
+			WRID: pent.V.id, Type: WTRead, Status: StatusTimedOut,
 			Err:  fmt.Errorf("iwarp: UD read timed out after %v", qp.reasmTimeout()),
-			STag: d.pr.sink,
+			STag: pent.V.sink,
 		}
-		if tr != nil {
+		if ent := qp.records.Get(pent.Key); ent != nil {
 			// Partial data did arrive; report what is valid even though the
 			// Last segment never came.
-			cqe.ByteLen = tr.placed
-			cqe.Validity = tr.validity.Clone()
+			ent.Lock()
+			if !ent.Gone() {
+				cqe.ByteLen = ent.V.placed
+				cqe.Validity = ent.V.validity.Clone()
+			}
+			ent.Unlock()
+			qp.records.EvictEntry(ent)
 		}
+		qp.stats.swept.Add(1)
 		qp.sendCQ.post(cqe)
-	}
+		return true
+	})
 }
 
 // sendTerminate reports an error back to a peer without touching QP state.

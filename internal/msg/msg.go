@@ -15,6 +15,7 @@ import (
 	iwarp "repro/internal/core"
 	"repro/internal/memreg"
 	"repro/internal/nio"
+	"repro/internal/peertab"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -171,10 +172,10 @@ type Stats struct {
 
 // peer is the per-remote-address protocol state: the sender-side credit
 // ledger and rendezvous table for our sends to it, and the receiver-side
-// grant ledger for its sends to us.
+// grant ledger for its sends to us. It lives in-place as a peertab Entry's
+// value; the ledger is all atomics, so the entry lock is never taken on the
+// datapath — only pendMu (per-peer, rendezvous control plane) is a mutex.
 type peer struct {
-	addr transport.Addr
-
 	// Sender side. Credit invariant: an eager send requires
 	// sent - limit < 0 (int32 arithmetic, wrap-safe); limit advances to
 	// grant+W as cumulative grants arrive.
@@ -261,16 +262,23 @@ type inKey struct {
 }
 
 // inboundRdv is the receiver-side state of one rendezvous: the registered
-// sink awaiting Write-Record placement. Fields are guarded by Endpoint.mu.
+// sink awaiting Write-Record placement. It is filed in two peertab tables
+// (by inKey for control messages, by steering tag for placement
+// completions); key, region, stag, buf, and n are immutable once the
+// transfer is published, and the mutable completion state is guarded by the
+// transfer's own mu — NOT by either table's entry lock, because the same
+// transfer is reachable through both tables and needs one authority.
 type inboundRdv struct {
-	key     inKey
-	region  *memreg.Region
-	stag    memreg.STag
-	buf     []byte // sink (len == n), from Endpoint.sinks
-	n       uint64
+	key    inKey
+	region *memreg.Region
+	stag   memreg.STag
+	buf    []byte // sink (len == n), from Endpoint.sinks
+	n      uint64
+	born   time.Time
+
+	mu      sync.Mutex
 	finSeen bool
-	done    bool
-	born    time.Time
+	done    bool // flipped exactly once: completion, sweep, or Close
 	// Sweeper progress tracking: an entry is reaped only after showing no
 	// new placed bytes for two consecutive sweeps past RendezvousTimeout.
 	lastCovered uint64
@@ -344,12 +352,13 @@ type Endpoint struct {
 	rxBufs map[uint64][]byte // posted receive WRID -> buffer
 	nextWR atomic.Uint64
 
-	peerMu sync.Mutex
-	peers  map[transport.Addr]*peer
-
-	mu      sync.Mutex // guards inbound/byStag and inboundRdv fields
-	inbound map[inKey]*inboundRdv
-	byStag  map[memreg.STag]*inboundRdv
+	// Sharded peer and rendezvous tables (peertab): the per-packet demux
+	// is a lock-free snapshot lookup, and structural changes contend only
+	// within one shard. Before this, one endpoint-wide mutex covered every
+	// peer's ledger and every open transfer.
+	peers   *peertab.Table[transport.Addr, peer]
+	inbound *peertab.Table[inKey, *inboundRdv]
+	byStag  *peertab.Table[memreg.STag, *inboundRdv]
 
 	m      *metrics
 	closed atomic.Bool
@@ -385,9 +394,9 @@ func Open(ep transport.Datagram, cfg Config) (*Endpoint, error) {
 		hdrPool:   nio.NewPool(HeaderLen),
 		sinks:     newSinkPool(),
 		rxBufs:    make(map[uint64][]byte, cfg.RecvDepth),
-		peers:     make(map[transport.Addr]*peer),
-		inbound:   make(map[inKey]*inboundRdv),
-		byStag:    make(map[memreg.STag]*inboundRdv),
+		peers:     peertab.New[transport.Addr, peer](hashAddr, peertab.Options{}),
+		inbound:   peertab.New[inKey, *inboundRdv](hashInKey, peertab.Options{}),
+		byStag:    peertab.New[memreg.STag, *inboundRdv](hashSTag, peertab.Options{}),
 		m:         getMetrics(),
 		done:      make(chan struct{}),
 	}
@@ -439,18 +448,19 @@ func (e *Endpoint) Stats() Stats {
 // and awaiting completion, and outbound RTSes awaiting CTS. Both must be
 // zero at quiesce — the chaos suite's table-balance invariant.
 func (e *Endpoint) OutstandingRendezvous() (inbound, outbound int) {
-	e.mu.Lock()
-	inbound = len(e.inbound)
-	e.mu.Unlock()
-	e.peerMu.Lock()
-	for _, p := range e.peers {
+	inbound = e.inbound.Len()
+	e.peers.Range(func(ent *peertab.Entry[transport.Addr, peer]) bool {
+		p := &ent.V
 		p.pendMu.Lock()
 		outbound += len(p.pending)
 		p.pendMu.Unlock()
-	}
-	e.peerMu.Unlock()
+		return true
+	})
 	return inbound, outbound
 }
+
+// PeerTableStats exposes the peer table's shard occupancy for diwarp-top.
+func (e *Endpoint) PeerTableStats() peertab.Stats { return e.peers.Stats() }
 
 // BufOutstanding reports buffers checked out of the endpoint's pools
 // (posted receives count until Close returns them). After Close with every
@@ -459,22 +469,42 @@ func (e *Endpoint) BufOutstanding() int64 {
 	return e.rxPool.Outstanding() + e.hdrPool.Outstanding() + e.sinks.outstanding()
 }
 
-// peer returns (creating on first use) the protocol state for addr.
+// hashAddr mirrors rudp's address hash so one peer lands on the same shard
+// index at every layer of the stack.
+func hashAddr(a transport.Addr) uint32 {
+	h := peertab.HashString(peertab.Seed(), a.Node)
+	return peertab.HashUint32(h, uint32(a.Port))
+}
+
+func hashInKey(k inKey) uint32 { return peertab.HashUint32(hashAddr(k.from), k.id) }
+
+func hashSTag(s memreg.STag) uint32 { return peertab.HashUint32(peertab.Seed(), uint32(s)) }
+
+// peer returns (creating on first use) the protocol state for addr. The
+// fast path is the table's lock-free snapshot lookup; the create path (and
+// its init closure allocation) is kept out of line so the per-packet call
+// stays allocation-free.
+//
+//diwarp:hotpath
 func (e *Endpoint) peer(addr transport.Addr) *peer {
-	e.peerMu.Lock()
-	p := e.peers[addr]
-	if p == nil {
-		p = &peer{
-			addr:     addr,
-			creditCh: make(chan struct{}, 1),
-			rdvSem:   make(chan struct{}, e.cfg.MaxRendezvous),
-			pending:  make(map[uint32]chan Header),
-		}
-		p.limit.Store(e.window)
-		e.peers[addr] = p
+	if ent := e.peers.Get(addr); ent != nil {
+		return &ent.V
 	}
-	e.peerMu.Unlock()
-	return p
+	return e.peerSlow(addr)
+}
+
+func (e *Endpoint) peerSlow(addr transport.Addr) *peer {
+	// Unbounded table: GetOrCreate cannot fail. Peers are never evicted —
+	// the credit ledger must survive as long as the remote may hold state
+	// about us, or a re-created peer would double-grant its window.
+	ent, _, _ := e.peers.GetOrCreate(addr, func(ent *peertab.Entry[transport.Addr, peer]) {
+		p := &ent.V
+		p.creditCh = make(chan struct{}, 1)
+		p.rdvSem = make(chan struct{}, e.cfg.MaxRendezvous)
+		p.pending = make(map[uint32]chan Header)
+		p.limit.Store(e.window)
+	})
+	return &ent.V
 }
 
 // Send transfers payload to the peer at `to`, choosing eager or rendezvous
@@ -819,18 +849,19 @@ func (e *Endpoint) handleRTS(p *peer, from transport.Addr, h *Header) {
 		return
 	}
 	k := inKey{from: from, id: h.MsgID}
-	e.mu.Lock()
-	in := e.inbound[k]
-	if in == nil {
+	ent := e.inbound.Get(k)
+	if ent == nil {
+		// Build the whole transfer before touching the table: registration
+		// takes the memreg table's locks and must never run under a shard
+		// lock. Two RTS duplicates may race here; the table arbitrates.
 		buf := e.sinks.get(int(h.Length))
 		region, err := e.tbl.Register(e.pd, buf, memreg.RemoteWrite)
 		if err != nil {
 			e.sinks.put(buf)
-			e.mu.Unlock()
 			e.m.badHeaders.Inc()
 			return
 		}
-		in = &inboundRdv{
+		cand := &inboundRdv{
 			key:    k,
 			region: region,
 			stag:   region.STag(),
@@ -838,15 +869,26 @@ func (e *Endpoint) handleRTS(p *peer, from transport.Addr, h *Header) {
 			n:      h.Length,
 			born:   time.Now(),
 		}
-		e.inbound[k] = in
-		e.byStag[in.stag] = in
-		e.m.rdvOpen.Add(1)
+		var created bool
+		ent, created, _ = e.inbound.GetOrCreate(k, func(ne *peertab.Entry[inKey, *inboundRdv]) {
+			ne.V = cand
+		})
+		if created {
+			e.byStag.GetOrCreate(cand.stag, func(ne *peertab.Entry[memreg.STag, *inboundRdv]) {
+				ne.V = cand
+			})
+			e.m.rdvOpen.Add(1)
+		} else {
+			// Lost the duplicate-RTS race: tear down the losing sink and
+			// answer from the winner's transfer.
+			_ = e.tbl.Deregister(cand.stag)
+			e.sinks.put(buf)
+		}
 	}
-	stag, to := in.stag, uint64(0)
-	e.mu.Unlock()
+	in := ent.V
 	// A lost CTS makes the sender re-RTS after timeout; the entry above
 	// is reused and this resend is idempotent.
-	_ = e.sendCtrl(p, from, &Header{Type: TypeCTS, MsgID: h.MsgID, STag: uint32(stag), Length: h.Length, TO: to})
+	_ = e.sendCtrl(p, from, &Header{Type: TypeCTS, MsgID: h.MsgID, STag: uint32(in.stag), Length: h.Length, TO: 0})
 }
 
 // handleCTS hands the steering tag to the waiting sender.
@@ -866,14 +908,14 @@ func (e *Endpoint) handleCTS(p *peer, h *Header) {
 // handleFIN marks the sender done; completion still requires every byte
 // placed (FIN can outrun tagged data on a reordering network).
 func (e *Endpoint) handleFIN(from transport.Addr, h *Header) {
-	e.mu.Lock()
-	in := e.inbound[inKey{from: from, id: h.MsgID}]
-	if in == nil {
-		e.mu.Unlock()
+	ent := e.inbound.Get(inKey{from: from, id: h.MsgID})
+	if ent == nil {
 		return
 	}
+	in := ent.V
+	in.mu.Lock()
 	in.finSeen = true
-	e.mu.Unlock()
+	in.mu.Unlock()
 	e.maybeComplete(in)
 }
 
@@ -884,33 +926,37 @@ func (e *Endpoint) onPlacement(cqe iwarp.CQE) {
 	if cqe.Status != iwarp.StatusSuccess {
 		return
 	}
-	e.mu.Lock()
-	in := e.byStag[cqe.STag]
-	e.mu.Unlock()
-	if in == nil {
+	ent := e.byStag.Get(cqe.STag)
+	if ent == nil {
 		return // late data for a swept or completed transfer
 	}
-	e.maybeComplete(in)
+	e.maybeComplete(ent.V)
 }
 
 // maybeComplete delivers the transfer iff FIN has arrived and the sink's
 // validity map covers the whole payload. Exactly-once: the winner flips
-// done under the lock.
+// done under the transfer's own lock, then alone unfiles it from both
+// tables. The pointer comparison on eviction protects a successor transfer
+// that reused the key after a duplicate-RTS recreated it.
 func (e *Endpoint) maybeComplete(in *inboundRdv) {
-	e.mu.Lock()
+	in.mu.Lock()
 	if in.done || !in.finSeen {
-		e.mu.Unlock()
+		in.mu.Unlock()
 		return
 	}
 	v := in.region.Validity()
 	if v.Covered() < in.n {
-		e.mu.Unlock()
+		in.mu.Unlock()
 		return
 	}
 	in.done = true
-	delete(e.inbound, in.key)
-	delete(e.byStag, in.stag)
-	e.mu.Unlock()
+	in.mu.Unlock()
+	if ent := e.inbound.Get(in.key); ent != nil && ent.V == in {
+		e.inbound.EvictEntry(ent)
+	}
+	if ent := e.byStag.Get(in.stag); ent != nil && ent.V == in {
+		e.byStag.EvictEntry(ent)
+	}
 
 	_ = e.tbl.Deregister(in.stag)
 	e.m.rdvOpen.Add(-1)
@@ -946,27 +992,37 @@ func (e *Endpoint) sweepLoop() {
 
 func (e *Endpoint) sweepInbound(now time.Time) {
 	var reap []*inboundRdv
-	e.mu.Lock()
-	for _, in := range e.inbound {
+	e.inbound.Range(func(ent *peertab.Entry[inKey, *inboundRdv]) bool {
+		in := ent.V
 		if now.Sub(in.born) < e.cfg.RendezvousTimeout {
-			continue
+			return true
+		}
+		in.mu.Lock()
+		if in.done {
+			in.mu.Unlock()
+			return true
 		}
 		v := in.region.Validity()
 		if c := v.Covered(); c > in.lastCovered {
 			in.lastCovered = c
 			in.staleSweeps = 0
-			continue
+			in.mu.Unlock()
+			return true
 		}
 		in.staleSweeps++
 		if in.staleSweeps < 2 {
-			continue
+			in.mu.Unlock()
+			return true
 		}
 		in.done = true
-		delete(e.inbound, in.key)
-		delete(e.byStag, in.stag)
+		in.mu.Unlock()
+		e.inbound.EvictEntry(ent)
+		if bs := e.byStag.Get(in.stag); bs != nil && bs.V == in {
+			e.byStag.EvictEntry(bs)
+		}
 		reap = append(reap, in)
-	}
-	e.mu.Unlock()
+		return true
+	})
 	for _, in := range reap {
 		_ = e.tbl.Deregister(in.stag)
 		e.sinks.put(in.buf)
@@ -995,16 +1051,19 @@ func (e *Endpoint) Close() error {
 		e.rxPool.Put(b)
 	}
 	e.rxMu.Unlock()
-	// Tear down inbound rendezvous state.
-	e.mu.Lock()
+	// Tear down inbound rendezvous state. A transfer completing
+	// concurrently flipped done first and owns its own teardown.
 	var ins []*inboundRdv
-	for _, in := range e.inbound {
-		in.done = true
-		ins = append(ins, in)
-	}
-	e.inbound = make(map[inKey]*inboundRdv)
-	e.byStag = make(map[memreg.STag]*inboundRdv)
-	e.mu.Unlock()
+	e.inbound.Clear(func(ent *peertab.Entry[inKey, *inboundRdv]) {
+		in := ent.V
+		in.mu.Lock()
+		if !in.done {
+			in.done = true
+			ins = append(ins, in)
+		}
+		in.mu.Unlock()
+	})
+	e.byStag.Clear(nil)
 	for _, in := range ins {
 		_ = e.tbl.Deregister(in.stag)
 		e.sinks.put(in.buf)

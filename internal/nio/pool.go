@@ -5,10 +5,37 @@ import (
 	"sync/atomic"
 )
 
-// defaultMaxIdle bounds how many free buffers a Pool retains; beyond it,
-// Put drops the buffer for the GC. 256 idle buffers at the 64 KB datagram
-// size is ~16 MB — a bounded slab, like an RNIC's receive ring.
-const defaultMaxIdle = 256
+// The idle bound is a byte budget, not a buffer count: a pool retains up to
+// idleBudgetBytes/size free buffers, clamped to [minIdleBufs, maxIdleBufs].
+// At the 64 KB datagram size that is 512 idle buffers — ~32 MB, a bounded
+// slab like an RNIC's receive ring. Smaller size classes get proportionally
+// more buffers for the same memory: a 2 KB pool retains 16384, which is
+// what a many-peer endpoint needs — with thousands of peers each holding a
+// few un-acked window buffers, a fixed 256-buffer bound degenerates into
+// drop-on-Put / allocate-on-Get churn at exactly the scale the sharded
+// peer tables are built for.
+const (
+	idleBudgetBytes = 32 << 20
+	minIdleBufs     = 64
+	maxIdleBufs     = 1 << 16
+
+	// poolStripes is the number of independent free lists (power of two).
+	// A single free-list mutex serializes every Get/Put in the process;
+	// with per-peer locking upstream, that one lock would be the last
+	// global serialization point left on the datapath.
+	poolStripes = 8
+)
+
+func idleBound(size int) int {
+	n := idleBudgetBytes / size
+	if n < minIdleBufs {
+		n = minIdleBufs
+	}
+	if n > maxIdleBufs {
+		n = maxIdleBufs
+	}
+	return n
+}
 
 // Pool hands out fixed-capacity byte buffers and recycles them, bounding the
 // allocation rate of the datapath. It is safe for concurrent use.
@@ -17,22 +44,29 @@ const defaultMaxIdle = 256
 // memory: Get always returns a zero-length slice with the pool's capacity so
 // stale payload bytes can never leak between messages.
 //
-// The free list is a mutex-guarded stack of slice headers rather than a
+// The free lists are mutex-guarded stacks of slice headers rather than a
 // sync.Pool: storing a []byte in an interface (or re-boxing a *[]byte on
 // every Put) costs one 24-byte allocation per recycle, which would defeat
-// the zero-alloc send path. The critical section is a pointer push/pop, so
-// the lock is held for a few nanoseconds.
+// the zero-alloc send path. The stack is striped poolStripes ways so
+// concurrent senders on different peers do not collide on one lock; the
+// Get/Put counters double as the stripe selectors, spreading traffic
+// round-robin without any extra atomics on the hot path.
 type Pool struct {
 	size    int
-	maxIdle int
+	maxIdle int // per-stripe bound
 	gets    atomic.Int64
 	misses  atomic.Int64
 	puts    atomic.Int64
 
-	mu   sync.Mutex
-	free [][]byte
+	stripes [poolStripes]poolStripe
 
 	guard poolGuard // double-put detector, active under -tags pooldebug only
+}
+
+type poolStripe struct {
+	mu   sync.Mutex
+	free [][]byte
+	_    [32]byte // pad to a cache line so stripes do not false-share
 }
 
 // NewPool returns a pool of buffers with capacity size bytes.
@@ -40,7 +74,11 @@ func NewPool(size int) *Pool {
 	if size <= 0 {
 		panic("nio: NewPool size must be positive")
 	}
-	return &Pool{size: size, maxIdle: defaultMaxIdle}
+	per := idleBound(size) / poolStripes
+	if per < 1 {
+		per = 1
+	}
+	return &Pool{size: size, maxIdle: per}
 }
 
 // BufSize reports the capacity of buffers handed out by the pool.
@@ -53,21 +91,27 @@ func (pl *Pool) Get() []byte {
 }
 
 // TryGet is Get, additionally reporting whether the buffer was served from
-// the free list (hit) or had to be allocated (miss). Datapaths that export
+// a free list (hit) or had to be allocated (miss). Datapaths that export
 // their own hit/miss telemetry use it to count without re-deriving deltas
 // from Stats.
 func (pl *Pool) TryGet() ([]byte, bool) {
-	pl.gets.Add(1)
-	pl.mu.Lock()
-	if n := len(pl.free); n > 0 {
-		b := pl.free[n-1]
-		pl.free[n-1] = nil
-		pl.free = pl.free[:n-1]
-		pl.mu.Unlock()
-		pl.guard.onGet(b)
-		return b[:0], true
+	home := uint64(pl.gets.Add(1)) & (poolStripes - 1)
+	// Start at the home stripe; on a miss, sweep the others before paying
+	// for an allocation — a nearly-empty pool must still find the buffers
+	// it does have (and the recycle invariant depends on it).
+	for i := uint64(0); i < poolStripes; i++ {
+		s := &pl.stripes[(home+i)&(poolStripes-1)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			b := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			pl.guard.onGet(b)
+			return b[:0], true
+		}
+		s.mu.Unlock()
 	}
-	pl.mu.Unlock()
 	pl.misses.Add(1)
 	b := make([]byte, 0, pl.size)
 	pl.guard.onGet(b)
@@ -82,12 +126,12 @@ func (pl *Pool) Put(b []byte) {
 		return
 	}
 	pl.guard.onPut(b)
-	pl.puts.Add(1)
-	pl.mu.Lock()
-	if len(pl.free) < pl.maxIdle {
-		pl.free = append(pl.free, b[:0])
+	s := &pl.stripes[uint64(pl.puts.Add(1))&(poolStripes-1)]
+	s.mu.Lock()
+	if len(s.free) < pl.maxIdle {
+		s.free = append(s.free, b[:0])
 	}
-	pl.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Stats reports the pool's hit/miss counters: hits are Gets served from a
@@ -104,4 +148,17 @@ func (pl *Pool) Stats() (hits, misses int64) {
 // harness asserts after every schedule.
 func (pl *Pool) Outstanding() int64 {
 	return pl.gets.Load() - pl.puts.Load()
+}
+
+// idle reports the total buffers currently parked across all free lists
+// (test and telemetry helper; takes every stripe lock).
+func (pl *Pool) idle() int {
+	n := 0
+	for i := range pl.stripes {
+		s := &pl.stripes[i]
+		s.mu.Lock()
+		n += len(s.free)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -72,19 +72,38 @@ func TestPoolOutstanding(t *testing.T) {
 }
 
 func TestPoolIdleBound(t *testing.T) {
-	pl := NewPool(8)
-	bufs := make([][]byte, defaultMaxIdle+10)
+	const size = 64 << 10
+	bound := idleBound(size) // 32 MB budget / 64 KB = 512
+	pl := NewPool(size)
+	bufs := make([][]byte, bound+16)
 	for i := range bufs {
 		bufs[i] = pl.Get()
 	}
 	for _, b := range bufs {
 		pl.Put(b)
 	}
-	pl.mu.Lock()
-	idle := len(pl.free)
-	pl.mu.Unlock()
-	if idle != defaultMaxIdle {
-		t.Fatalf("free list holds %d buffers, want the %d bound", idle, defaultMaxIdle)
+	if idle := pl.idle(); idle != bound {
+		t.Fatalf("free lists hold %d buffers, want the %d bound", idle, bound)
+	}
+}
+
+// TestPoolIdleBoundScalesWithSize pins the byte-budget semantics: the idle
+// bound is a memory budget, so small size classes retain proportionally more
+// buffers. A many-peer endpoint with thousands of shallow windows depends on
+// this — a fixed buffer-count bound would drop-and-reallocate on every
+// window turn once outstanding buffers exceed it.
+func TestPoolIdleBoundScalesWithSize(t *testing.T) {
+	if small, large := idleBound(2048), idleBound(64<<10); small <= large {
+		t.Fatalf("idleBound(2KB)=%d not larger than idleBound(64KB)=%d", small, large)
+	}
+	if got := idleBound(2048) * 2048; got > idleBudgetBytes {
+		t.Fatalf("idle budget exceeded: %d bytes", got)
+	}
+	if b := idleBound(1); b != maxIdleBufs {
+		t.Fatalf("tiny size class not clamped: %d", b)
+	}
+	if b := idleBound(1 << 30); b != minIdleBufs {
+		t.Fatalf("huge size class not clamped: %d", b)
 	}
 }
 

@@ -1,0 +1,56 @@
+package peertab
+
+// FNV-1a primitives for building shard hashes. The same discipline as the
+// core placement workers (PR 4): one peer address must hash identically at
+// every layer, so demux decisions agree from the UD QP up through rudp and
+// msg. Chained form — start from Seed(), fold in each key component —
+// keeps composite keys (addr+ID, addr+STag) alloc-free.
+
+const (
+	fnvOffset = 2166136261
+	fnvPrime  = 16777619
+)
+
+// Seed returns the FNV-1a offset basis.
+//
+//diwarp:hotpath
+func Seed() uint32 { return fnvOffset }
+
+// HashString folds s into h.
+//
+//diwarp:hotpath
+func HashString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// HashUint32 folds v into h byte-by-byte (big-endian).
+//
+//diwarp:hotpath
+func HashUint32(h uint32, v uint32) uint32 {
+	h = (h ^ (v >> 24)) * fnvPrime
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime
+	h = (h ^ (v & 0xff)) * fnvPrime
+	return h
+}
+
+// HashUint64 folds v into h byte-by-byte (big-endian).
+//
+//diwarp:hotpath
+func HashUint64(h uint32, v uint64) uint32 {
+	h = HashUint32(h, uint32(v>>32))
+	return HashUint32(h, uint32(v))
+}
+
+// HashBytes folds b into h.
+//
+//diwarp:hotpath
+func HashBytes(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,108 @@
+package peertab
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWheelArmAdvance(t *testing.T) {
+	w := NewWheel[string](16, time.Millisecond)
+	now := time.Now()
+	w.Arm("a", now.Add(2*time.Millisecond))
+	w.Arm("b", now.Add(5*time.Millisecond))
+	if w.Armed() != 2 {
+		t.Fatalf("armed %d, want 2", w.Armed())
+	}
+	// Nothing due yet.
+	if due := w.Advance(now, nil); len(due) != 0 {
+		t.Fatalf("premature fire: %v", due)
+	}
+	due := w.Advance(now.Add(3*time.Millisecond), nil)
+	if len(due) != 1 || due[0].Key != "a" {
+		t.Fatalf("at +3ms fired %v, want [a]", due)
+	}
+	due = w.Advance(now.Add(10*time.Millisecond), due[:0])
+	if len(due) != 1 || due[0].Key != "b" {
+		t.Fatalf("at +10ms fired %v, want [b]", due)
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed %d at quiesce, want 0", w.Armed())
+	}
+}
+
+func TestWheelDisarm(t *testing.T) {
+	w := NewWheel[string](16, time.Millisecond)
+	now := time.Now()
+	slot := w.Arm("a", now.Add(2*time.Millisecond))
+	w.Disarm("a", slot)
+	if w.Armed() != 0 {
+		t.Fatalf("armed %d after disarm, want 0", w.Armed())
+	}
+	if due := w.Advance(now.Add(20*time.Millisecond), nil); len(due) != 0 {
+		t.Fatalf("disarmed key fired: %v", due)
+	}
+	// Disarming an already-popped slot is a no-op, not a panic.
+	w.Disarm("a", slot)
+}
+
+// TestWheelPastDeadline pins the clamp: a deadline already in the past
+// must fire on the next sweep, not wait out a full wheel revolution.
+func TestWheelPastDeadline(t *testing.T) {
+	w := NewWheel[string](16, time.Millisecond)
+	now := time.Now()
+	w.Advance(now, nil) // move the cursor to now
+	w.Arm("late", now.Add(-50*time.Millisecond))
+	due := w.Advance(now.Add(2*time.Millisecond), nil)
+	if len(due) != 1 || due[0].Key != "late" {
+		t.Fatalf("past-deadline key fired %v, want [late]", due)
+	}
+}
+
+// TestWheelBeyondHorizon pins wrap handling: a deadline more than one
+// revolution out must not fire early when its slot is swept.
+func TestWheelBeyondHorizon(t *testing.T) {
+	w := NewWheel[string](8, time.Millisecond) // 8ms horizon
+	now := time.Now()
+	w.Arm("far", now.Add(20*time.Millisecond))
+	if due := w.Advance(now.Add(10*time.Millisecond), nil); len(due) != 0 {
+		t.Fatalf("beyond-horizon key fired a revolution early: %v", due)
+	}
+	due := w.Advance(now.Add(25*time.Millisecond), nil)
+	if len(due) != 1 || due[0].Key != "far" {
+		t.Fatalf("beyond-horizon key fired %v, want [far]", due)
+	}
+}
+
+// TestWheelStall pins the long-stall sweep cap: after a pause longer than
+// a full revolution, one Advance drains everything due without looping the
+// slot array more than once.
+func TestWheelStall(t *testing.T) {
+	w := NewWheel[string](8, time.Millisecond)
+	now := time.Now()
+	for i, k := range []string{"a", "b", "c"} {
+		w.Arm(k, now.Add(time.Duration(i+1)*time.Millisecond))
+	}
+	due := w.Advance(now.Add(time.Second), nil)
+	if len(due) != 3 {
+		t.Fatalf("after stall fired %d, want 3", len(due))
+	}
+	if w.Armed() != 0 {
+		t.Fatalf("armed %d after stall sweep, want 0", w.Armed())
+	}
+}
+
+// TestWheelRearmSameSlot pins the overwrite property: re-arming a key into
+// the slot it already occupies replaces the filing instead of duplicating
+// it (the map key is the peer), so Armed can never double-count a peer.
+func TestWheelRearmSameSlot(t *testing.T) {
+	w := NewWheel[string](16, time.Millisecond)
+	now := time.Now()
+	s1 := w.Arm("a", now.Add(3*time.Millisecond))
+	s2 := w.Arm("a", now.Add(3*time.Millisecond))
+	if s1 != s2 {
+		t.Fatalf("same deadline filed to different slots %d/%d", s1, s2)
+	}
+	if w.Armed() != 1 {
+		t.Fatalf("armed %d after re-arm, want 1", w.Armed())
+	}
+}

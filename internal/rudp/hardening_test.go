@@ -42,6 +42,18 @@ func (h *hookEP) SendTo(p []byte, to transport.Addr) error {
 	return h.Datagram.SendTo(p, to)
 }
 
+// peerField runs f on addr's peer state under its entry lock, creating
+// the peer if absent — the test-side window into the sharded table.
+func peerField(t *testing.T, e *Endpoint, addr transport.Addr, f func(*peerState)) {
+	t.Helper()
+	ent, _, err := e.tab.LockOrCreate(addr, initPeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(&ent.V)
+	ent.Unlock()
+}
+
 // TestWrapCrossingUnderLoss pins the serial-arithmetic edges: a window
 // sliding across seq 2^32−32 … 32 under 20% loss must still deliver every
 // message exactly once and in order — cumAck, the SACK bitmap offsets
@@ -50,12 +62,8 @@ func (h *hookEP) SendTo(p []byte, to transport.Addr) error {
 func TestWrapCrossingUnderLoss(t *testing.T) {
 	const start = ^uint32(0) - 31 // 2^32 - 32
 	a, b := pair(t, simnet.Config{LossRate: 0.2, Seed: 42})
-	a.mu.Lock()
-	a.peer(b.LocalAddr()).nextSeq = start
-	a.mu.Unlock()
-	b.mu.Lock()
-	b.peer(a.LocalAddr()).expected = start
-	b.mu.Unlock()
+	peerField(t, a, b.LocalAddr(), func(ps *peerState) { ps.nextSeq, ps.ackedTo = start, start-1 })
+	peerField(t, b, a.LocalAddr(), func(ps *peerState) { ps.expected = start })
 
 	const msgs = 64 // crosses from 2^32-32 to 32
 	done := make(chan error, 1)
@@ -171,9 +179,8 @@ func TestFarFutureSeqNotBuffered(t *testing.T) {
 	if got := b.Snapshot().WindowDrops; got != 1 {
 		t.Fatalf("WindowDrops = %d, want 1", got)
 	}
-	b.mu.Lock()
-	ooo := len(b.peer(raw.LocalAddr()).ooo)
-	b.mu.Unlock()
+	var ooo int
+	peerField(t, b, raw.LocalAddr(), func(ps *peerState) { ooo = len(ps.ooo) })
 	if ooo != 0 {
 		t.Fatalf("%d out-of-order buffers retained for the garbage seq", ooo)
 	}
@@ -225,9 +232,8 @@ func TestBackoffResetsAfterAck(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		a.mu.Lock()
-		bo := a.peer(b.LocalAddr()).backoff
-		a.mu.Unlock()
+		var bo int
+		peerField(t, a, b.LocalAddr(), func(ps *peerState) { bo = ps.backoff })
 		if bo >= 2 {
 			break
 		}
@@ -240,9 +246,8 @@ func TestBackoffResetsAfterAck(t *testing.T) {
 	if err := a.Flush(5 * time.Second); err != nil {
 		t.Fatalf("Flush after heal: %v", err)
 	}
-	a.mu.Lock()
-	bo := a.peer(b.LocalAddr()).backoff
-	a.mu.Unlock()
+	var bo int
+	peerField(t, a, b.LocalAddr(), func(ps *peerState) { bo = ps.backoff })
 	if bo != 0 {
 		t.Fatalf("backoff = %d after acknowledged progress, want 0 (Karn reset)", bo)
 	}

@@ -1,0 +1,192 @@
+package rudp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/peertab"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// TestEvictDuringTickNoTimerLeak pins the eviction/timer-wheel interlock:
+// a peer torn down while the retransmit tick is scanning it must not leak
+// its armed wheel filing or any window buffer. The failure mode this guards
+// against: tickPeer pops a firing, the peer is evicted and re-admitted (or
+// just evicted) between the pop and the lock, and a stale re-arm files a
+// timer for state that no longer exists — at quiesce the wheel would still
+// count it, and Close could never balance the pool.
+func TestEvictDuringTickNoTimerLeak(t *testing.T) {
+	n := simnet.New(simnet.Config{LossRate: 1.0}) // acks never arrive: every peer keeps an armed RTO
+	ep, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ep)
+	defer e.Close()
+
+	// Ghost peers exist on the network but never run a protocol endpoint,
+	// so nothing ever acks (and LossRate 1.0 drops the traffic anyway).
+	const peers = 48
+	addrs := make([]transport.Addr, peers)
+	for i := range addrs {
+		g, err := n.OpenDatagram(fmt.Sprintf("ghost%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		addrs[i] = g.LocalAddr()
+	}
+	addr := func(i int) transport.Addr { return addrs[i] }
+	payload := []byte("never acked")
+
+	// dropAndEvict is the dead-peer teardown path SendTo takes, exercised
+	// directly so the test controls its timing against the tick loop.
+	dropAndEvict := func(i int) {
+		ent := e.tab.Lookup(addr(i))
+		if ent == nil {
+			return
+		}
+		e.releaseWindow(ent)
+		ent.Unlock()
+		e.evictEntry(ent)
+	}
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < peers; i++ {
+			if err := e.SendTo(payload, addr(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Let the 2ms retransmit ticks engage so evictions race live scans.
+		time.Sleep(8 * tickInterval)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < peers; i += 4 {
+					dropAndEvict(i)
+				}
+			}(g)
+		}
+		wg.Wait()
+		// A stale firing may still be in flight inside the tick loop; give
+		// it a tick to resolve against the now-gone entries.
+		time.Sleep(4 * tickInterval)
+		if armed := e.ArmedTimers(); armed != 0 {
+			t.Fatalf("round %d: %d wheel filings leaked past eviction", round, armed)
+		}
+		if got := e.Peers(); got != 0 {
+			t.Fatalf("round %d: %d peers survived eviction", round, got)
+		}
+	}
+	if out := e.PoolOutstanding(); out != 0 {
+		t.Fatalf("pool unbalanced at quiesce: %d buffers outstanding", out)
+	}
+}
+
+// TestMaxPeersAdmission pins the bounded-capacity policy: SendTo to a peer
+// beyond MaxPeers surfaces peertab.ErrCapacity, existing conversations are
+// unaffected, and eviction frees the slot.
+func TestMaxPeersAdmission(t *testing.T) {
+	n := simnet.New(simnet.Config{LossRate: 1.0})
+	ep, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewConfig(ep, Config{MaxPeers: 4})
+	defer e.Close()
+
+	addrs := make([]transport.Addr, 5)
+	for i := range addrs {
+		g, err := n.OpenDatagram(fmt.Sprintf("p%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		addrs[i] = g.LocalAddr()
+	}
+	addr := func(i int) transport.Addr { return addrs[i] }
+	for i := 0; i < 4; i++ {
+		if err := e.SendTo([]byte("hi"), addr(i)); err != nil {
+			t.Fatalf("peer %d within capacity rejected: %v", i, err)
+		}
+	}
+	if err := e.SendTo([]byte("hi"), addr(4)); !errors.Is(err, peertab.ErrCapacity) {
+		t.Fatalf("peer beyond capacity: err=%v, want ErrCapacity", err)
+	}
+	// Established peers keep working at capacity.
+	if err := e.SendTo([]byte("again"), addr(0)); err != nil {
+		t.Fatalf("existing peer rejected at capacity: %v", err)
+	}
+	// Freeing a slot admits the newcomer.
+	ent := e.tab.Lookup(addr(1))
+	if ent == nil {
+		t.Fatal("peer 1 missing")
+	}
+	e.releaseWindow(ent)
+	ent.Unlock()
+	e.evictEntry(ent)
+	if err := e.SendTo([]byte("hi"), addr(4)); err != nil {
+		t.Fatalf("admission after evict: %v", err)
+	}
+}
+
+// TestIdleEvictAndResume pins the idle-eviction lifecycle: a fully-acked
+// conversation idle past IdleEvict is evicted (occupancy drops, eviction
+// counted), and the next send starts a fresh conversation the receiver
+// adopts transparently — same address, new epoch, delivery continues.
+func TestIdleEvictAndResume(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	ia, err := n.OpenDatagram("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := n.OpenDatagram("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewConfig(ia, Config{IdleEvict: 50 * time.Millisecond})
+	b := New(ib)
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.SendTo([]byte("one"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The idle sweep runs once a second; wait out one full cadence.
+	deadline := time.Now().Add(3 * time.Second)
+	for a.Peers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle peer not evicted: %d peers after %s", a.Peers(), 3*time.Second)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ev := a.Snapshot().PeerEvictions; ev < 1 {
+		t.Fatalf("eviction not counted: %d", ev)
+	}
+	if armed := a.ArmedTimers(); armed != 0 {
+		t.Fatalf("idle eviction leaked %d wheel filings", armed)
+	}
+	// Resume: same address, fresh conversation, transparent to the peer.
+	if err := a.SendTo([]byte("two"), b.LocalAddr()); err != nil {
+		t.Fatalf("resume after idle eviction: %v", err)
+	}
+	msg, _, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatalf("resumed conversation undelivered: %v", err)
+	}
+	if string(msg) != "two" {
+		t.Fatalf("resumed delivery got %q", msg)
+	}
+}

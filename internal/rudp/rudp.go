@@ -39,6 +39,17 @@
 // the new incarnation in place. A 1-in-256 collision between successive
 // incarnations evades detection; that residual risk is accepted for a
 // one-byte header cost.
+//
+// # Scaling (DESIGN.md §4.12)
+//
+// Per-peer state lives in a sharded peertab.Table: the demux from source
+// address to window state is a lock-free snapshot lookup, and every state
+// mutation takes only that peer's entry lock, so senders to different
+// peers never contend. Retransmit scheduling is a hashed timer wheel — the
+// tick visits only peers whose RTO is actually due instead of scanning the
+// whole population under a global mutex. One QP's worth of endpoint can
+// therefore carry the paper's "arbitrarily many peers" without the peer
+// count taxing every packet.
 package rudp
 
 import (
@@ -46,10 +57,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crcx"
 	"repro/internal/nio"
+	"repro/internal/peertab"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -72,6 +85,13 @@ const (
 	maxRTO       = 200 * time.Millisecond
 	maxBackoff   = 6 // cap on Karn doublings; rto is clamped to maxRTO anyway
 	tickInterval = 2 * time.Millisecond
+
+	// wheelSlots × tickInterval is the wheel horizon (512ms) — past maxRTO,
+	// so a deadline never wraps in normal operation.
+	wheelSlots = 256
+	// idleSweepEvery spaces EvictIdle scans: the scan is O(peers), so it
+	// runs once a second, not once per 2ms tick.
+	idleSweepEvery = time.Second / tickInterval
 )
 
 // ErrPeerDead reports that a peer stopped acknowledging after maxRetries
@@ -81,25 +101,49 @@ const (
 // while traffic to other peers continues unaffected.
 var ErrPeerDead = errors.New("rudp: peer unreachable (retries exhausted)")
 
+// Config tunes the endpoint's peer-table policy. The zero value matches
+// the historical New behavior: default sharding, unbounded peers, no idle
+// eviction.
+type Config struct {
+	// Shards is the peer-table stripe count (power of two; 0 selects the
+	// peertab default). Raise it for soak-scale populations so each
+	// copy-on-write insert copies a small shard.
+	Shards int
+	// MaxPeers bounds the peer table. Beyond it, SendTo to a new peer
+	// returns peertab.ErrCapacity and inbound packets from new peers are
+	// dropped (counted in diwarp_peertab_admission_rejects_total).
+	// Zero means unbounded.
+	MaxPeers int
+	// IdleEvict, when positive, evicts peers whose conversation has been
+	// idle that long and has nothing unacknowledged. A resumed peer starts
+	// a fresh conversation (new epoch) transparently; any out-of-order
+	// data buffered behind a loss gap is dropped with the state, exactly
+	// as if the packets had been lost on the wire.
+	IdleEvict time.Duration
+}
+
 // Endpoint is a reliable datagram endpoint. It implements
 // transport.Datagram, delivering every message exactly once and in per-peer
 // order, so it can be slotted under the iWARP stack wherever a raw UDP
 // endpoint can.
 type Endpoint struct {
 	inner transport.Datagram
+	cfg   Config
 
 	// pool recycles DATA wire buffers (header + payload + CRC). A buffer
-	// lives from SendTo until the packet is acknowledged AND no transmission
-	// is in flight (pending.inFlight tracks sends that have been handed to
-	// the inner transport but not yet returned).
+	// lives from SendTo until its reference count drains: one reference
+	// for window residency, one per transmission handed to the inner
+	// transport (see pending.refs).
 	pool *nio.Pool
 	// ackPool recycles the small ACK wire buffers, which are released as
 	// soon as the inner SendTo returns (the transport does not retain them).
 	ackPool *nio.Pool
 
-	mu     sync.Mutex
-	peers  map[transport.Addr]*peerState
-	closed bool
+	// tab shards the per-peer state; wheel schedules retransmit deadlines.
+	// Lock order: shard.mu → Entry.mu → wslot.mu (declared in peertab).
+	tab    *peertab.Table[transport.Addr, peerState]
+	wheel  *peertab.Wheel[transport.Addr]
+	closed atomic.Bool
 
 	// Reliability counters are telemetry-registry handles (DESIGN.md §4.6).
 	// ackSendFail and dataSendFail count inner-transport send failures on
@@ -114,7 +158,7 @@ type Endpoint struct {
 	dataSendFail  *telemetry.Counter   // retransmission sends the inner transport rejected
 	crcFail       *telemetry.Counter   // inbound packets dropped by the header CRC
 	windowDrops   *telemetry.Counter   // DATA beyond the acceptance window, not buffered
-	evictions     *telemetry.Counter   // dead peers evicted on observation
+	evictions     *telemetry.Counter   // peers evicted (dead on observation, or idle)
 	epochMismatch *telemetry.Counter   // packets from a different conversation incarnation
 	rtt           *telemetry.Histogram // ack round-trip, µs (Karn: first transmissions only)
 
@@ -128,13 +172,34 @@ type message struct {
 	from    transport.Addr
 }
 
-// peerState tracks one remote endpoint's send and receive windows.
+// peerEntry is one peer's slot in the sharded table; its embedded lock
+// guards every peerState field.
+type peerEntry = peertab.Entry[transport.Addr, peerState]
+
+// peerState tracks one remote endpoint's send and receive windows. All
+// fields are guarded by the owning entry's lock except pending.refs.
 type peerState struct {
-	// Send side.
-	nextSeq  uint32
-	unacked  map[uint32]*pending
+	// Send side. The un-acked window is a fixed ring indexed seq mod
+	// windowSize: sequence numbers are assigned consecutively, so slot
+	// seq&63 is free exactly when seq-64 has been acknowledged — the ring
+	// occupancy IS the window check. Compared to a map keyed by seq this
+	// removes one heap allocation per send (the map's *pending value) and
+	// turns every window scan (ack clearing, RTO sweep, teardown) into a
+	// 64-entry array walk with no hashing and no iterator.
+	wnd      [windowSize]pending
+	unackedN int           // ring slots currently holding the window reference
+	nextSeq  uint32        // next sequence number to assign
+	ackedTo  uint32        // every seq ≤ ackedTo is acked: window walks start past it
 	sendWait chan struct{} // pulsed when window space frees
 	dead     error         // set once retries exhaust or the peer restarts; awaits eviction
+
+	// wheelIdx is the wheel slot this peer's earliest retransmit deadline
+	// is filed in, or -1 when unarmed. The tick loop sets it to -1 when it
+	// consumes a firing (matching the Fired slot — a mismatch means the
+	// peer re-armed between the pop and the lock, and the firing is
+	// stale); everyone else arms only when it is -1 and disarms through
+	// it, so a peer occupies at most one wheel filing.
+	wheelIdx int
 
 	// Incarnation tracking: txEpoch stamps every packet this conversation
 	// sends; rxEpoch is the peer's epoch, bound from its first packet.
@@ -190,21 +255,52 @@ func (ps *peerState) observeRTT(sample time.Duration) {
 	ps.srtt = (7*ps.srtt + sample) / 8
 }
 
+// pending is one ring slot: an in-window packet. refs counts reasons the
+// wire buffer must stay alive: 1 for window residency (inUse) plus 1 per
+// transmission currently handed to the inner transport. Increments happen
+// only under the peer's entry lock while the window reference is still held
+// (so refs never revives from zero); the final decrement — wherever it
+// lands — recycles the buffer without needing any lock. Because the slot
+// outlives the packet (the ring is reused), every releaseRef passes the
+// payload it captured while it still held a reference: reading pd.payload
+// after the decrement could observe the slot's next occupant.
+//
+// A slot is reusable only when inUse is false AND refs has drained to 0 —
+// a lingering transmission reference (a retransmission in flight when the
+// ack landed) briefly blocks reuse, which SendTo treats as a full window.
 type pending struct {
 	payload  []byte
 	lastSent time.Time
+	seq      uint32
 	retries  int
-	inFlight int  // transmissions handed to inner and not yet returned (guarded by e.mu)
-	acked    bool // removed from the window; recycle payload when inFlight drains
+	inUse    bool
+	refs     atomic.Int32
 }
 
-// New wraps inner with reliability. The Endpoint owns inner and closes it.
-func New(inner transport.Datagram) *Endpoint {
+// hashAddr is the table's shard hash: FNV-1a over the address, the same
+// discipline (and therefore the same spread) as the core placement workers.
+func hashAddr(a transport.Addr) uint32 {
+	h := peertab.HashString(peertab.Seed(), a.Node)
+	return peertab.HashUint32(h, uint32(a.Port))
+}
+
+// New wraps inner with reliability using default Config. The Endpoint owns
+// inner and closes it.
+func New(inner transport.Datagram) *Endpoint { return NewConfig(inner, Config{}) }
+
+// NewConfig wraps inner with reliability under an explicit peer-table
+// policy.
+func NewConfig(inner transport.Datagram, cfg Config) *Endpoint {
 	e := &Endpoint{
-		inner:         inner,
-		pool:          nio.NewPool(inner.MaxDatagram()),
-		ackPool:       nio.NewPool(ackLen),
-		peers:         make(map[transport.Addr]*peerState),
+		inner:   inner,
+		cfg:     cfg,
+		pool:    nio.NewPool(inner.MaxDatagram()),
+		ackPool: nio.NewPool(ackLen),
+		tab: peertab.New[transport.Addr, peerState](hashAddr, peertab.Options{
+			Shards:   cfg.Shards,
+			Capacity: cfg.MaxPeers,
+		}),
+		wheel:         peertab.NewWheel[transport.Addr](wheelSlots, tickInterval),
 		inbox:         make(chan message, 1024),
 		done:          make(chan struct{}),
 		retransmits:   telemetry.Default.Counter("diwarp_rudp_retransmits_total"),
@@ -223,28 +319,69 @@ func New(inner transport.Datagram) *Endpoint {
 	return e
 }
 
-func (e *Endpoint) peer(a transport.Addr) *peerState {
-	p, ok := e.peers[a]
-	if !ok {
-		p = &peerState{
-			unacked:  make(map[uint32]*pending),
-			ooo:      make(map[uint32][]byte),
-			nextSeq:  1,
-			expected: 1,
-			sendWait: make(chan struct{}, 1),
-			txEpoch:  byte(rand.Int()),
-		}
-		e.peers[a] = p
+// initPeer initializes a freshly admitted peer's state; peertab runs it
+// before the entry is visible to anyone else.
+func initPeer(ent *peerEntry) {
+	ent.V = peerState{
+		ooo:      make(map[uint32][]byte),
+		nextSeq:  1,
+		expected: 1,
+		sendWait: make(chan struct{}, 1),
+		txEpoch:  byte(rand.Int()),
+		wheelIdx: -1,
 	}
-	return p
 }
 
-// evict removes a dead peer's state so a restarted peer (or a fresh
-// conversation) starts from clean sequence space. Caller holds e.mu; the
-// unacked window was already released when the peer was declared dead.
-func (e *Endpoint) evict(a transport.Addr) {
-	delete(e.peers, a)
-	e.evictions.Inc()
+// lockPeer returns the peer's entry locked and alive, creating it if
+// absent. The only error is table admission (peertab.ErrCapacity).
+func (e *Endpoint) lockPeer(a transport.Addr) (*peerEntry, error) {
+	ent, _, err := e.tab.LockOrCreate(a, initPeer)
+	return ent, err
+}
+
+// evictEntry tears a peer out of the table (idempotent, pointer-exact).
+// The caller must NOT hold the entry lock and must have already released
+// the peer's window and wheel state.
+func (e *Endpoint) evictEntry(ent *peerEntry) {
+	if e.tab.EvictEntry(ent) {
+		e.evictions.Inc()
+	}
+}
+
+// releaseRef drops one reference from a pending slot and recycles the wire
+// buffer when the count drains. payload is the caller's capture of the
+// slot's buffer, taken while the caller still held a reference — the slot
+// itself may be re-occupied the instant refs reaches 0.
+func (e *Endpoint) releaseRef(pd *pending, payload []byte) {
+	if pd.refs.Add(-1) == 0 {
+		e.pool.Put(payload)
+	}
+}
+
+// releaseWindow empties the peer's send window, dropping each packet's
+// window reference and waking any blocked sender. Caller holds the entry
+// lock. Also disarms the retransmit wheel — a peer with no window has no
+// deadline, and an evicted peer must not leak its wheel filing.
+func (e *Endpoint) releaseWindow(ent *peerEntry) {
+	ps := &ent.V
+	for i := range ps.wnd {
+		pd := &ps.wnd[i]
+		if !pd.inUse {
+			continue
+		}
+		payload := pd.payload
+		pd.inUse, pd.payload = false, nil
+		ps.unackedN--
+		e.releaseRef(pd, payload)
+	}
+	if ps.wheelIdx >= 0 {
+		e.wheel.Disarm(ent.Key, ps.wheelIdx)
+		ps.wheelIdx = -1
+	}
+	select {
+	case ps.sendWait <- struct{}{}:
+	default:
+	}
 }
 
 // seqLE reports a ≤ b in wraparound-aware serial arithmetic.
@@ -256,7 +393,7 @@ func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
 func IsAckPacket(p []byte) bool { return len(p) == ackLen && p[0] == typeAck }
 
 // admitEpoch checks an inbound packet's epoch against the conversation and
-// reports whether processing may continue. Caller holds e.mu.
+// reports whether processing may continue. Caller holds the entry lock.
 //
 // A mismatch means the peer's conversation state was rebuilt (process
 // restart, or eviction-and-retry on its side). With sends outstanding, the
@@ -267,7 +404,8 @@ func IsAckPacket(p []byte) bool { return len(p) == ackLen && p[0] == typeAck }
 // incarnation in place, clearing receive state so stale out-of-order
 // buffers cannot leak into the new conversation; anything else (stale
 // stragglers, orphan ACKs) is dropped.
-func (e *Endpoint) admitEpoch(ps *peerState, from transport.Addr, epoch byte, isData bool, seq uint32) bool {
+func (e *Endpoint) admitEpoch(ent *peerEntry, epoch byte, isData bool, seq uint32) bool {
+	ps := &ent.V
 	if !ps.rxBound {
 		ps.rxBound, ps.rxEpoch = true, epoch
 		return true
@@ -276,17 +414,10 @@ func (e *Endpoint) admitEpoch(ps *peerState, from transport.Addr, epoch byte, is
 		return true
 	}
 	e.epochMismatch.Inc()
-	if len(ps.unacked) > 0 {
+	if ps.unackedN > 0 {
 		if ps.dead == nil {
-			ps.dead = fmt.Errorf("%w: %s restarted (epoch %d -> %d)", ErrPeerDead, from, ps.rxEpoch, epoch)
-			for s, pd := range ps.unacked {
-				delete(ps.unacked, s)
-				e.release(pd)
-			}
-			select {
-			case ps.sendWait <- struct{}{}:
-			default:
-			}
+			ps.dead = fmt.Errorf("%w: %s restarted (epoch %d -> %d)", ErrPeerDead, ent.Key, ps.rxEpoch, epoch)
+			e.releaseWindow(ent)
 		}
 		return false
 	}
@@ -294,60 +425,43 @@ func (e *Endpoint) admitEpoch(ps *peerState, from transport.Addr, epoch byte, is
 		ps.rxEpoch = epoch
 		ps.expected = 1
 		clear(ps.ooo)
-		ps.nextSeq = 1
+		ps.nextSeq, ps.ackedTo = 1, 0
 		ps.srtt, ps.rttvar, ps.backoff = 0, 0, 0
 		return true
 	}
 	return false
 }
 
-// release marks a pending packet as out of the window and recycles its wire
-// buffer once no transmission still references it. Caller holds e.mu.
-func (e *Endpoint) release(pd *pending) {
-	pd.acked = true
-	if pd.inFlight == 0 && pd.payload != nil {
-		e.pool.Put(pd.payload)
-		pd.payload = nil
-	}
-}
-
-// finishSends drops one in-flight reference from each pending packet, and
-// recycles buffers whose packet was acknowledged while the transmission was
-// on the wire.
-func (e *Endpoint) finishSends(pds ...*pending) {
-	e.mu.Lock()
-	for _, pd := range pds {
-		pd.inFlight--
-		if pd.acked && pd.inFlight == 0 && pd.payload != nil {
-			e.pool.Put(pd.payload)
-			pd.payload = nil
-		}
-	}
-	e.mu.Unlock()
-}
-
 // SendTo implements transport.Datagram. It blocks while the peer's send
 // window is full and returns ErrPeerDead if the peer stops acknowledging —
 // in which case the peer's state is evicted, so the next SendTo to the same
-// address starts a fresh conversation.
+// address starts a fresh conversation. With Config.MaxPeers set it returns
+// peertab.ErrCapacity for a new peer that does not fit.
 func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 	if len(p) > e.MaxDatagram() {
 		return transport.ErrTooLarge
 	}
 	for {
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
+		if e.closed.Load() {
 			return transport.ErrClosed
 		}
-		ps := e.peer(to)
-		if ps.dead != nil {
-			err := ps.dead
-			e.evict(to)
-			e.mu.Unlock()
+		ent, err := e.lockPeer(to)
+		if err != nil {
 			return err
 		}
-		if len(ps.unacked) < windowSize {
+		ps := &ent.V
+		if ps.dead != nil {
+			err := ps.dead
+			ent.Unlock()
+			e.evictEntry(ent)
+			return err
+		}
+		// The next seq's ring slot is free exactly when seq-windowSize has
+		// been acked (seqs are consecutive), so slot occupancy is the window
+		// check. refs must also have drained: a retransmission of the old
+		// occupant may still be in flight holding the slot's counter.
+		if pd := &ps.wnd[ps.nextSeq&(windowSize-1)]; !pd.inUse && pd.refs.Load() == 0 {
+			now := time.Now()
 			seq := ps.nextSeq
 			ps.nextSeq++
 			buf := e.pool.Get()
@@ -355,19 +469,20 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 			buf = nio.PutU32(buf, seq)
 			buf = append(buf, p...)
 			buf = nio.PutU32(buf, crcx.Checksum(buf))
-			pd := &pending{
-				payload:  buf,
-				lastSent: time.Now(),
-				inFlight: 1,
+			pd.payload, pd.lastSent, pd.seq, pd.retries, pd.inUse = buf, now, seq, 0, true
+			pd.refs.Store(2) // window residency + the transmission below
+			ps.unackedN++
+			if ps.wheelIdx < 0 {
+				ps.wheelIdx = e.wheel.Arm(to, now.Add(ps.curRTO()))
 			}
-			ps.unacked[seq] = pd
-			e.mu.Unlock()
+			ent.Touch(now.UnixNano())
+			ent.Unlock()
 			err := e.inner.SendTo(buf, to)
-			e.finishSends(pd)
+			e.releaseRef(pd, buf)
 			return err
 		}
 		wait := ps.sendWait
-		e.mu.Unlock()
+		ent.Unlock()
 		select {
 		case <-wait:
 		case <-e.done:
@@ -448,10 +563,15 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 	seq := nio.U32(pkt[2:])
 	payload := pkt[headerLen:]
 
-	e.mu.Lock()
-	ps := e.peer(from)
-	if !e.admitEpoch(ps, from, pkt[1], true, seq) {
-		e.mu.Unlock()
+	ent, err := e.lockPeer(from)
+	if err != nil {
+		// Table at capacity: the stranger's packet is dropped exactly like
+		// a loss (peertab counts the rejection); admitted peers continue.
+		return
+	}
+	ps := &ent.V
+	if !e.admitEpoch(ent, pkt[1], true, seq) {
+		ent.Unlock()
 		return
 	}
 	var deliverables []message
@@ -484,7 +604,8 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 		e.windowDrops.Inc()
 	}
 	ack := e.buildAck(ps)
-	e.mu.Unlock()
+	ent.Touch(time.Now().UnixNano())
+	ent.Unlock()
 
 	// ACK first so the sender's window opens even if our inbox is full.
 	// A failed ACK send is recoverable — acks are cumulative and the next
@@ -503,7 +624,7 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 }
 
 // buildAck encodes the peer's receive state: cumulative ack plus a bitmap of
-// the 32 sequence numbers above it. Caller holds e.mu.
+// the 32 sequence numbers above it. Caller holds the entry lock.
 func (e *Endpoint) buildAck(ps *peerState) []byte {
 	cum := ps.expected - 1
 	var bitmap uint32
@@ -525,20 +646,26 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	bitmap := nio.U32(pkt[6:])
 
 	now := time.Now()
-	e.mu.Lock()
 	// Look up without creating: an ACK from an address we are not talking
 	// to (evicted peer's stale ack, mis-delivery) must not mint state.
-	ps, ok := e.peers[from]
-	if !ok {
-		e.mu.Unlock()
+	ent := e.tab.Lookup(from)
+	if ent == nil {
 		return
 	}
-	if !e.admitEpoch(ps, from, pkt[1], false, 0) {
-		e.mu.Unlock()
+	ps := &ent.V
+	if !e.admitEpoch(ent, pkt[1], false, 0) {
+		ent.Unlock()
 		return
 	}
 	freed := false
-	for seq, pd := range ps.unacked {
+	// Walk only the live window range (ackedTo, nextSeq): unacked seqs are
+	// consecutive, so everything below ackedTo's slot is long recycled and
+	// everything at nextSeq and above is unsent.
+	for seq := ps.ackedTo + 1; seqLE(seq, ps.nextSeq-1); seq++ {
+		pd := &ps.wnd[seq&(windowSize-1)]
+		if !pd.inUse || pd.seq != seq {
+			continue // a SACK hole already cleared this slot
+		}
 		acked := seqLE(seq, cum)
 		if !acked {
 			// SACK offset in wraparound arithmetic: seq-cum-1 is the bit
@@ -557,9 +684,17 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 			e.rtt.Observe(sample.Microseconds())
 			ps.observeRTT(sample)
 		}
-		delete(ps.unacked, seq)
-		e.release(pd)
+		payload := pd.payload
+		pd.inUse, pd.payload = false, nil
+		ps.unackedN--
+		e.releaseRef(pd, payload)
 		freed = true
+	}
+	// Advance the contiguous-acked floor to the cumulative ack (never past
+	// what was actually sent: a garbage cum must not detach the floor from
+	// the window, and SACKed seqs above it stay holes until cum catches up).
+	if seqLE(ps.ackedTo+1, cum) && seqLE(cum, ps.nextSeq-1) {
+		ps.ackedTo = cum
 	}
 	if freed {
 		// Acknowledged progress ends the backoff regime (Karn): the path is
@@ -567,8 +702,13 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 		// current RTT estimate instead of the escalated timeout.
 		ps.backoff = 0
 	}
+	if ps.unackedN == 0 && ps.wheelIdx >= 0 {
+		e.wheel.Disarm(from, ps.wheelIdx)
+		ps.wheelIdx = -1
+	}
 	wait := ps.sendWait
-	e.mu.Unlock()
+	ent.Touch(now.UnixNano())
+	ent.Unlock()
 	if freed {
 		select {
 		case wait <- struct{}{}:
@@ -577,15 +717,19 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	}
 }
 
-// retransmitLoop resends unacknowledged packets whose RTO expired, with
-// per-peer Karn backoff, and declares a peer dead after maxRetries. Death
-// is contained to the peer: its window is released (no buffer may outlive
-// the window) and its state awaits eviction by the next SendTo/Flush that
-// observes the error; other peers are untouched.
+// retransmitLoop drives the timer wheel: each tick pops only the peers
+// whose RTO deadline arrived and processes each under its own entry lock —
+// no global scan, no global mutex. A peer that stops acknowledging is
+// declared dead after maxRetries; death is contained to the peer (its
+// window is released, its wheel filing removed) and its state awaits
+// eviction by the next SendTo/Flush that observes the error. The loop also
+// owns the idle-eviction sweep when Config.IdleEvict is set.
 func (e *Endpoint) retransmitLoop() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(tickInterval)
 	defer ticker.Stop()
+	var fired []peertab.Fired[transport.Addr]
+	ticks := 0
 	for {
 		select {
 		case <-e.done:
@@ -593,71 +737,120 @@ func (e *Endpoint) retransmitLoop() {
 		case <-ticker.C:
 		}
 		now := time.Now()
-		type resend struct {
-			pd  *pending
-			to  transport.Addr
-			seq uint32
+		fired = e.wheel.Advance(now, fired[:0])
+		for _, f := range fired {
+			e.tickPeer(f, now)
 		}
-		var rs []resend
-		var wakes []chan struct{}
-		e.mu.Lock()
-		for addr, ps := range e.peers {
-			if ps.dead != nil {
-				continue
-			}
-			rto := ps.curRTO()
-			bumped := false
-			for seq, pd := range ps.unacked {
-				if now.Sub(pd.lastSent) < rto {
-					continue
+		if ticks++; e.cfg.IdleEvict > 0 && ticks%int(idleSweepEvery) == 0 {
+			n := e.tab.EvictIdle(e.cfg.IdleEvict, func(ent *peerEntry) bool {
+				if ent.V.unackedN > 0 {
+					return false // still awaiting acks: not idle, just slow
 				}
-				pd.retries++
-				e.rtoExpired.Inc()
-				if pd.retries > maxRetries {
-					ps.dead = fmt.Errorf("%w: %s", ErrPeerDead, addr)
-					break
+				// No window → no wheel filing to disarm beyond safety.
+				if ent.V.wheelIdx >= 0 {
+					e.wheel.Disarm(ent.Key, ent.V.wheelIdx)
+					ent.V.wheelIdx = -1
 				}
-				pd.lastSent = now
-				if !bumped && ps.backoff < maxBackoff {
-					// One doubling per expiry event, not per packet: a
-					// whole window expiring together is one timeout.
-					ps.backoff++
-					bumped = true
-				}
-				// Hold an in-flight reference so a concurrent ack cannot
-				// recycle (and another sender overwrite) the buffer while
-				// the retransmission reads it.
-				pd.inFlight++
-				rs = append(rs, resend{pd: pd, to: addr, seq: seq})
-			}
-			if ps.dead != nil {
-				// Release the whole window now. Without this the buffers
-				// (and any sender blocked on window space) would be wedged
-				// until eviction, and Close could not drain the pool.
-				for seq, pd := range ps.unacked {
-					delete(ps.unacked, seq)
-					e.release(pd)
-				}
-				wakes = append(wakes, ps.sendWait)
-			}
+				return true
+			})
+			e.evictions.Add(int64(n))
 		}
-		e.mu.Unlock()
-		for _, w := range wakes {
-			select {
-			case w <- struct{}{}:
-			default:
-			}
+	}
+}
+
+// tickPeer handles one wheel firing: retransmit the peer's due packets,
+// escalate retries, and re-file the earliest remaining deadline.
+func (e *Endpoint) tickPeer(f peertab.Fired[transport.Addr], now time.Time) {
+	ent := e.tab.Lookup(f.Key)
+	if ent == nil {
+		return // evicted between pop and lock; its filing died with it
+	}
+	ps := &ent.V
+	if ps.wheelIdx != f.Slot {
+		// The peer disarmed (all acked) or re-armed into another slot
+		// between the pop and this lock; the firing is stale.
+		ent.Unlock()
+		return
+	}
+	ps.wheelIdx = -1
+	if ps.dead != nil {
+		ent.Unlock()
+		return
+	}
+	rto := ps.curRTO()
+	type resend struct {
+		pd      *pending
+		payload []byte
+		seq     uint32
+	}
+	// Stack array, not append: retransmit bursts must not allocate.
+	var rs [windowSize]resend
+	nrs := 0
+	bumped := false
+	var minLastSent time.Time
+	for seq := ps.ackedTo + 1; seqLE(seq, ps.nextSeq-1); seq++ {
+		pd := &ps.wnd[seq&(windowSize-1)]
+		if !pd.inUse || pd.seq != seq {
+			continue
 		}
-		for _, r := range rs {
-			// A failed retransmission behaves exactly like a lost one: the
-			// next RTO tick retries it. Count it so a dead transport shows.
-			e.retransmits.Inc()
-			telemetry.DefaultTrace.Record(telemetry.EvRetransmit, telemetry.PeerToken(r.to), len(r.pd.payload), r.seq)
-			if err := e.inner.SendTo(r.pd.payload, r.to); err != nil {
-				e.dataSendFail.Inc()
+		if now.Sub(pd.lastSent) < rto {
+			if minLastSent.IsZero() || pd.lastSent.Before(minLastSent) {
+				minLastSent = pd.lastSent
 			}
-			e.finishSends(r.pd)
+			continue
 		}
+		pd.retries++
+		e.rtoExpired.Inc()
+		if pd.retries > maxRetries {
+			ps.dead = fmt.Errorf("%w: %s", ErrPeerDead, ent.Key)
+			break
+		}
+		pd.lastSent = now
+		if !bumped && ps.backoff < maxBackoff {
+			// One doubling per expiry event, not per packet: a whole
+			// window expiring together is one timeout.
+			ps.backoff++
+			bumped = true
+		}
+		// Hold a transmission reference so a concurrent ack cannot recycle
+		// (and another sender overwrite) the buffer while the
+		// retransmission reads it.
+		pd.refs.Add(1)
+		rs[nrs] = resend{pd: pd, payload: pd.payload, seq: pd.seq}
+		nrs++
+		if minLastSent.IsZero() || now.Before(minLastSent) {
+			minLastSent = now
+		}
+	}
+	var wake chan struct{}
+	switch {
+	case ps.dead != nil:
+		// Release the whole window now. Without this the buffers (and any
+		// sender blocked on window space) would be wedged until eviction,
+		// and Close could not drain the pool.
+		e.releaseWindow(ent)
+		wake = ps.sendWait
+	case ps.unackedN > 0:
+		// Re-file at the earliest remaining deadline (backoff may have
+		// grown the RTO, so recompute).
+		ps.wheelIdx = e.wheel.Arm(ent.Key, minLastSent.Add(ps.curRTO()))
+	}
+	ent.Unlock()
+	if wake != nil {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	for _, r := range rs[:nrs] {
+		// A failed retransmission behaves exactly like a lost one: the
+		// next RTO tick retries it. Count it so a dead transport shows.
+		e.retransmits.Inc()
+		telemetry.DefaultTrace.Record(telemetry.EvRetransmit, telemetry.PeerToken(f.Key), len(r.payload), r.seq)
+		if err := e.inner.SendTo(r.payload, f.Key); err != nil {
+			e.dataSendFail.Inc()
+		}
+		e.releaseRef(r.pd, r.payload)
 	}
 }
 
@@ -669,24 +862,32 @@ func (e *Endpoint) retransmitLoop() {
 func (e *Endpoint) Flush(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
+		if e.closed.Load() {
 			return transport.ErrClosed
 		}
 		outstanding := 0
-		var dead error
-		for addr, ps := range e.peers {
-			if ps.dead != nil && dead == nil {
-				dead = ps.dead
-				e.evict(addr)
-				continue
+		var deadErr error
+		var deadEnts []*peerEntry
+		e.tab.Range(func(ent *peerEntry) bool {
+			ent.Lock()
+			if !ent.Gone() {
+				if ent.V.dead != nil {
+					if deadErr == nil {
+						deadErr = ent.V.dead
+					}
+					deadEnts = append(deadEnts, ent)
+				} else {
+					outstanding += ent.V.unackedN
+				}
 			}
-			outstanding += len(ps.unacked)
+			ent.Unlock()
+			return true
+		})
+		for _, ent := range deadEnts {
+			e.evictEntry(ent)
 		}
-		e.mu.Unlock()
-		if dead != nil {
-			return dead
+		if deadErr != nil {
+			return deadErr
 		}
 		if outstanding == 0 {
 			return nil
@@ -719,7 +920,8 @@ type Snapshot struct {
 	CRCFailures int64
 	// WindowDrops counts DATA packets beyond the acceptance window.
 	WindowDrops int64
-	// PeerEvictions counts dead peers whose state was torn down.
+	// PeerEvictions counts peers whose state was torn down (dead peers on
+	// observation, and idle peers under Config.IdleEvict).
 	PeerEvictions int64
 	// EpochMismatches counts packets carrying a different conversation
 	// incarnation than the one bound — restart detections and stragglers.
@@ -754,6 +956,17 @@ func (e *Endpoint) SendErrors() uint64 {
 // (everything flushed or every peer evicted, endpoint closed) it must be 0.
 func (e *Endpoint) PoolOutstanding() int64 { return e.pool.Outstanding() }
 
+// Peers reports the current peer-table occupancy.
+func (e *Endpoint) Peers() int { return e.tab.Len() }
+
+// PeerStats reports the peer table's shard-occupancy summary.
+func (e *Endpoint) PeerStats() peertab.Stats { return e.tab.Stats() }
+
+// ArmedTimers reports how many peers hold a live retransmit-wheel filing —
+// the eviction-leak invariant: at quiesce it must equal the number of
+// peers with unacked packets (0 after a clean Flush/Close).
+func (e *Endpoint) ArmedTimers() int { return e.wheel.Armed() }
+
 // LocalAddr implements transport.Datagram.
 func (e *Endpoint) LocalAddr() transport.Addr { return e.inner.LocalAddr() }
 
@@ -768,26 +981,17 @@ func (e *Endpoint) PathMTU() int { return e.inner.PathMTU() }
 // recycling every wire buffer still sitting in a send window, so a closed
 // endpoint leaves its pool balanced even when peers never acked.
 func (e *Endpoint) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
 	close(e.done)
 	err := e.inner.Close()
 	e.wg.Wait()
-	// Loops are stopped: nothing takes new in-flight references. Buffers
-	// still referenced by a SendTo mid-inner-send are recycled by its
-	// finishSends (release marks them acked below).
-	e.mu.Lock()
-	for _, ps := range e.peers {
-		for seq, pd := range ps.unacked {
-			delete(ps.unacked, seq)
-			e.release(pd)
-		}
-	}
-	e.mu.Unlock()
+	// Loops are stopped: nothing takes new transmission references.
+	// Buffers still referenced by a SendTo mid-inner-send are recycled by
+	// its releaseRef once the window reference is dropped here.
+	e.tab.Clear(func(ent *peerEntry) {
+		e.releaseWindow(ent)
+	})
 	return err
 }

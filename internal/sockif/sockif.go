@@ -73,6 +73,11 @@ type Config struct {
 	// Reliable wraps datagram endpoints in the reliable-datagram LLP,
 	// giving TCP-like guarantees with datagram scalability (RD service).
 	Reliable bool
+	// RudpConfig parameterises the reliable-datagram layer when Reliable
+	// is set: peer-table sharding, bounded capacity (admission errors past
+	// MaxPeers), and idle-conversation eviction. The zero value keeps
+	// rudp's defaults (unbounded, no idle eviction).
+	RudpConfig rudp.Config
 	// StreamWriteRecord switches stream (RC) sockets to the RDMA Write
 	// data path: rings are advertised in the MPA private data at connect
 	// time, large sends become RDMA Write + notify (the paper's Figure 3
@@ -157,7 +162,7 @@ func (ifc *Interface) socket(t Type, port uint16) (*Socket, error) {
 			return nil, err
 		}
 		if ifc.cfg.Reliable {
-			ep = rudp.New(ep)
+			ep = rudp.NewConfig(ep, ifc.cfg.RudpConfig)
 		}
 		if err := s.initUD(ep); err != nil {
 			ep.Close() //diwarp:ignore errflow: error-path cleanup of an endpoint never exposed; initUD's error is the one to report

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nio"
@@ -34,8 +35,12 @@ type UDPEndpoint struct {
 	kern  *kernelBatch
 	feats BatchFeatures
 
-	addrMu    sync.RWMutex
-	addrCache map[netip.AddrPort]Addr
+	// addrs memoizes source-address rendering, sharded with the same
+	// striping discipline as internal/peertab (which transport cannot
+	// import: telemetry sits between them): the per-packet hit is a
+	// lock-free snapshot lookup instead of an endpoint-wide RWMutex every
+	// receive shares.
+	addrs addrCache
 }
 
 var (
@@ -86,11 +91,11 @@ func ListenUDPMode(host string, port uint16, mode UDPBatchMode) (*UDPEndpoint, e
 	_ = conn.SetReadBuffer(8 << 20)  //diwarp:ignore errflow: socket-option tuning: kernels cap, not fail, oversized requests
 	_ = conn.SetWriteBuffer(8 << 20) //diwarp:ignore errflow: socket-option tuning: kernels cap, not fail, oversized requests
 	e := &UDPEndpoint{
-		conn:      conn,
-		mtu:       DefaultMTU,
-		pool:      nio.NewPool(MaxDatagramSize),
-		addrCache: make(map[netip.AddrPort]Addr),
+		conn: conn,
+		mtu:  DefaultMTU,
+		pool: nio.NewPool(MaxDatagramSize),
 	}
+	e.addrs.init()
 	e.kern = newKernelBatch(conn, mode)
 	if e.kern != nil {
 		e.feats = e.kern.features()
@@ -205,26 +210,93 @@ func (e *UDPEndpoint) readPooled() ([]byte, Addr, error) {
 	return buf[:n], e.cachedAddr(ap), nil
 }
 
+// addrCacheStripes is the cache's stripe count (power of two). 8 stripes
+// match the receive path's realistic concurrency (recvmmsg drain plus a few
+// placement workers) without bloating the endpoint struct.
+const addrCacheStripes = 8
+
+// addrCache is the miniature of peertab's sharded table the import cycle
+// forces on this package: N stripes selected by FNV-1a over the source
+// address, each holding an atomic pointer to an immutable snapshot map.
+// Hits load the snapshot lock-free; inserts copy-on-write under the stripe
+// mutex. At the capacity bound the cache resets wholesale (one burst of
+// re-rendering) rather than tracking LRU on the packet path.
+type addrCache struct {
+	stripes [addrCacheStripes]struct {
+		mu   sync.Mutex
+		snap atomic.Pointer[map[netip.AddrPort]Addr]
+		_    [32]byte // keep neighbouring stripes off one cache line
+	}
+	len atomic.Int64
+}
+
+func (c *addrCache) init() {
+	for i := range c.stripes {
+		empty := make(map[netip.AddrPort]Addr)
+		c.stripes[i].snap.Store(&empty)
+	}
+}
+
+// hashAddrPort selects a stripe: FNV-1a over the 16-byte address form and
+// the port, the same discipline as peertab's hash helpers.
+//
+//diwarp:hotpath
+func hashAddrPort(ap netip.AddrPort) uint32 {
+	const fnvOffset, fnvPrime = 2166136261, 16777619
+	b := ap.Addr().As16()
+	h := uint32(fnvOffset)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * fnvPrime
+	}
+	p := ap.Port()
+	h = (h ^ uint32(p>>8)) * fnvPrime
+	h = (h ^ uint32(p&0xff)) * fnvPrime
+	return h
+}
+
 // cachedAddr maps a socket address to a transport.Addr, memoizing the
 // string form so steady-state receives never re-render an IP.
+//
+//diwarp:hotpath
 func (e *UDPEndpoint) cachedAddr(ap netip.AddrPort) Addr {
 	// The kernel reports IPv4 peers on a dual-stack socket as 4-in-6
 	// (::ffff:a.b.c.d); unmap so the cached Node matches what resolve()
 	// parses on the send side.
 	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
-	e.addrMu.RLock()
-	a, ok := e.addrCache[ap]
-	e.addrMu.RUnlock()
-	if ok {
+	s := &e.addrs.stripes[hashAddrPort(ap)&(addrCacheStripes-1)]
+	if a, ok := (*s.snap.Load())[ap]; ok {
 		return a
 	}
-	a = Addr{Node: ap.Addr().String(), Port: ap.Port()}
-	e.addrMu.Lock()
-	if len(e.addrCache) >= maxAddrCache {
-		e.addrCache = make(map[netip.AddrPort]Addr)
+	return e.cachedAddrSlow(ap)
+}
+
+func (e *UDPEndpoint) cachedAddrSlow(ap netip.AddrPort) Addr {
+	a := Addr{Node: ap.Addr().String(), Port: ap.Port()}
+	if e.addrs.len.Load() >= maxAddrCache {
+		for i := range e.addrs.stripes {
+			s := &e.addrs.stripes[i]
+			s.mu.Lock()
+			empty := make(map[netip.AddrPort]Addr)
+			s.snap.Store(&empty)
+			s.mu.Unlock()
+		}
+		e.addrs.len.Store(0)
 	}
-	e.addrCache[ap] = a
-	e.addrMu.Unlock()
+	s := &e.addrs.stripes[hashAddrPort(ap)&(addrCacheStripes-1)]
+	s.mu.Lock()
+	old := *s.snap.Load()
+	if hit, ok := old[ap]; ok {
+		s.mu.Unlock()
+		return hit
+	}
+	next := make(map[netip.AddrPort]Addr, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ap] = a
+	s.snap.Store(&next)
+	s.mu.Unlock()
+	e.addrs.len.Add(1)
 	return a
 }
 
