@@ -86,6 +86,9 @@ func render(w io.Writer, addr string, cur, prev *telemetry.Snapshot, interval ti
 	if line := peertabSummary(cur); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	if line := rudpSummary(cur, prev, interval); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 
 	if len(cur.Counters) > 0 {
@@ -170,6 +173,30 @@ func peertabSummary(cur *telemetry.Snapshot) string {
 		cur.Gauges["diwarp_peertab_shard_min"],
 		telemetry.FormatValue(cur.Counters["diwarp_peertab_evictions_total"]),
 		telemetry.FormatValue(cur.Counters["diwarp_peertab_admission_rejects_total"]))
+}
+
+// rudpSummary condenses reliability and congestion control (DESIGN.md
+// §4.13) into one row: the live cwnd, total and fast retransmissions with a
+// per-interval retransmit rate, and the health counters — ECN marks seen,
+// multiplicative decreases, and spurious duplicates at the receiver. Empty
+// when the daemon exports no rudp cc metrics.
+func rudpSummary(cur, prev *telemetry.Snapshot, interval time.Duration) string {
+	cwnd, ok := cur.Gauges["diwarp_rudp_cc_cwnd"]
+	if !ok {
+		return "" // no reliable endpoints in this daemon
+	}
+	rate := ""
+	if prev != nil && interval > 0 {
+		dr := cur.Counters["diwarp_rudp_retransmits_total"] - prev.Counters["diwarp_rudp_retransmits_total"]
+		rate = fmt.Sprintf(" (%.1f/s)", float64(dr)/interval.Seconds())
+	}
+	return fmt.Sprintf("rudp cc: cwnd %d · rexmit %s%s · fast %s · marks %s · decreases %s · spurious %s",
+		cwnd,
+		telemetry.FormatValue(cur.Counters["diwarp_rudp_retransmits_total"]), rate,
+		telemetry.FormatValue(cur.Counters["diwarp_rudp_cc_fast_retransmits_total"]),
+		telemetry.FormatValue(cur.Counters["diwarp_rudp_cc_ecn_marks_total"]),
+		telemetry.FormatValue(cur.Counters["diwarp_rudp_cc_md_events_total"]),
+		telemetry.FormatValue(cur.Counters["diwarp_rudp_cc_spurious_rexmits_total"]))
 }
 
 func sortedKeys(m map[string]int64) []string {

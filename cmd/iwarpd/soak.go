@@ -198,6 +198,23 @@ func smokeScrape(base string) error {
 			return fmt.Errorf("smoke: metric %s is %d, want > 0", name, v)
 		}
 	}
+	// Congestion-control series: the cwnd gauge is live from endpoint
+	// construction and must be positive; the event counters only move under
+	// specific fault patterns (dup-ACK trains, ECN marks), so the smoke gate
+	// pins their names without requiring the soak to have triggered them.
+	if v, ok := scrapeValue(text, "diwarp_rudp_cc_cwnd"); !ok || v <= 0 {
+		return fmt.Errorf("smoke: diwarp_rudp_cc_cwnd = %d (present=%v), want > 0", v, ok)
+	}
+	for _, name := range []string{
+		"diwarp_rudp_cc_fast_retransmits_total",
+		"diwarp_rudp_cc_spurious_rexmits_total",
+		"diwarp_rudp_cc_ecn_marks_total",
+		"diwarp_rudp_cc_md_events_total",
+	} {
+		if _, ok := scrapeValue(text, name); !ok {
+			return fmt.Errorf("smoke: metric %s missing from scrape", name)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,55 @@
+// Package rudp exercises wirecheck against the revised reliable-datagram
+// ACK geometry: |type/flags(1)|epoch(1)|cumAck(4)|sack bitmap(8)|crc(4)|.
+// The widened 64-bit SACK bitmap moved the frame bound from 14 to 18
+// bytes; accesses must track AckLen, the largest matching constant.
+package rudp
+
+import (
+	"encoding/binary"
+
+	"nio"
+)
+
+// The real package's frame geometry. The bound rule takes the maximum
+// matching constant: AckLen (18) dominates HeaderLen (6).
+const (
+	HeaderLen = 6  // DATA prefix: type/flags + epoch + seq
+	AckLen    = 18 // full ACK frame: body (14) + CRC trailer (4)
+)
+
+func parseAckOK(b []byte) (uint32, uint64, uint32) {
+	cum := nio.U32(b[2:])    // [2,6): in bounds
+	bitmap := nio.U64(b[6:]) // [6,14): the widened SACK bitmap
+	crc := nio.U32(b[14:])   // [14,18): trailer, exactly at the bound
+	return cum, bitmap, crc
+}
+
+func parseAckBad(b []byte) (uint64, uint32) {
+	// A bitmap read placed where the trailer starts runs past the frame —
+	// the drift this rule exists to catch.
+	x := nio.U64(b[11:])                 // want `exceeds AckLen`
+	y := binary.BigEndian.Uint32(b[15:]) // want `exceeds AckLen`
+	return x, y
+}
+
+func writeAckBad(b []byte, v uint64) {
+	binary.BigEndian.PutUint64(b[12:], v) // want `exceeds AckLen`
+}
+
+func writeAckOK(b []byte, v uint64) []byte {
+	binary.BigEndian.PutUint64(b[6:], v) // [6,14): in bounds
+	return nio.PutU32(b, 0)              // append-style trailer: exempt
+}
+
+func wrongOrder(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b[2:]) // want `use binary.BigEndian`
+}
+
+func manualAssembly(b []byte) uint64 {
+	return uint64(b[6]) | uint64(b[7])<<8 // want `little-endian byte assembly`
+}
+
+// Payload-shaped buffers carry no constant header offset and are exempt.
+func payloadRead(p []byte) uint64 {
+	return nio.U64(p)
+}

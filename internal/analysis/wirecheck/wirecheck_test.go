@@ -8,5 +8,5 @@ import (
 )
 
 func TestWirecheck(t *testing.T) {
-	analysistest.Run(t, "testdata", wirecheck.Analyzer, "ddp", "msg")
+	analysistest.Run(t, "testdata", wirecheck.Analyzer, "ddp", "msg", "rudp")
 }

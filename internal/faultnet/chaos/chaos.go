@@ -52,6 +52,12 @@ type Verdict struct {
 	Tail        []string
 	FaultLog    *faultnet.Log // full decision log for the run
 	Indices     []int         // RD only: message indices in delivery order
+
+	// RD only: the endpoints' reliability counters at quiesce (sender a,
+	// receiver b — the final incarnation after a scripted crash). Loss-
+	// recovery and congestion-control invariants key off these.
+	SenderStats   rudp.Snapshot
+	ReceiverStats rudp.Snapshot
 }
 
 // Passed reports whether every invariant held.
@@ -121,6 +127,19 @@ type RDSchedule struct {
 	CrashAtMsg     int // crash and restart the receiver before this index
 
 	CheckWire bool // assert simnet packet-pool balance at quiesce (clean-ending schedules only)
+
+	// RequireNoRexmit asserts the sender retransmitted nothing — the
+	// loss-free-reorder invariant: SACK already tells the sender every
+	// displaced packet arrived, and fewer than dupAckThresh duplicate ACKs
+	// accumulate under a reorder span of 2, so any retransmission (RTO or
+	// fast) on a loss-free schedule is spurious. Only meaningful when
+	// neither direction drops packets.
+	RequireNoRexmit bool
+	// RequireMarks asserts the ECN signal chain ran end to end: the
+	// receiver observed congestion marks and the sender answered echoes
+	// with multiplicative decreases. Use with a MarkRate > 0 schedule and
+	// no scripted crash (stats come from the final incarnation).
+	RequireMarks bool
 }
 
 // classifyRDPacket tags rudp ACKs for faultnet's ACK blackhole.
@@ -155,6 +174,7 @@ func RunRD(s RDSchedule) *Verdict {
 		cfg.Seed = seed
 		cfg.Log = log
 		cfg.Classify = classifyRDPacket
+		cfg.Marker = rudp.MarkCongestion
 		fe := faultnet.Wrap(ep, cfg)
 		return fe, rudp.New(fe), nil
 	}
@@ -275,6 +295,7 @@ func RunRD(s RDSchedule) *Verdict {
 			cfg.Seed = s.Seed + 2
 			cfg.Log = log
 			cfg.Classify = classifyRDPacket
+			cfg.Marker = rudp.MarkCongestion
 			rx.fe = faultnet.Wrap(ep2, cfg)
 			rx.ep = rudp.New(rx.fe)
 			close(rx.restarted)
@@ -288,8 +309,15 @@ func RunRD(s RDSchedule) *Verdict {
 		v.Sent++
 	}
 
-	// Quiesce: flush (absorbing at most one death per conversation), then
-	// heal residual faults and let the receiver drain.
+	// Quiesce: release reorder holds first — a held tail packet has no
+	// subsequent sends to ride out its delay, so without this every
+	// reordering schedule ends in a gratuitous RTO retransmit of the tail —
+	// then flush (absorbing at most one death per conversation), heal
+	// residual faults, and let the receiver drain.
+	fa.ReleaseHeld()
+	rx.mu.Lock()
+	rx.fe.ReleaseHeld()
+	rx.mu.Unlock()
 	flushErr := a.Flush(10 * time.Second)
 	flushDead := errors.Is(flushErr, rudp.ErrPeerDead)
 	if flushDead {
@@ -346,6 +374,8 @@ func RunRD(s RDSchedule) *Verdict {
 	rx.ep.Close()
 	rx.mu.Unlock()
 	<-recvDone
+	v.SenderStats = a.Snapshot()
+	v.ReceiverStats = bEnd.Snapshot()
 
 	// Invariant: exactly-once, in-order, and no silent loss.
 	rxMu.Lock()
@@ -381,6 +411,34 @@ func RunRD(s RDSchedule) *Verdict {
 	}
 	if out := bEnd.PoolOutstanding(); out != 0 {
 		v.failf("receiver wire-buffer pool leaked %d buffers", out)
+	}
+
+	// Invariant: loss-free schedules must not retransmit. Reorder and
+	// duplication give the sender nothing to resend — SACK reports every
+	// displaced packet, and the dup-ACK count stays below the fast-
+	// retransmit threshold at reorder span ≤ 2.
+	if s.RequireNoRexmit {
+		if v.SenderStats.Retransmits != 0 {
+			v.failf("loss-free schedule retransmitted %d packets (%d fast, %d RTO expiries) — spurious recovery",
+				v.SenderStats.Retransmits, v.SenderStats.FastRetransmits, v.SenderStats.RTOExpirations)
+		}
+		if s.FaultAB.DupRate == 0 && s.FaultBA.DupRate == 0 && v.ReceiverStats.SpuriousRexmits != 0 {
+			// With no retransmissions and no wire duplication, nothing can
+			// legitimately arrive twice.
+			v.failf("receiver saw %d spurious duplicate DATA on a dup-free schedule", v.ReceiverStats.SpuriousRexmits)
+		}
+	}
+	// Invariant: the ECN chain ran end to end — marks observed at the
+	// receiver, echoes answered with multiplicative decrease at the sender.
+	// A broken CRC re-stamp in the marker would instead surface as CRC
+	// drops and retransmissions of every marked packet.
+	if s.RequireMarks {
+		if v.ReceiverStats.ECNMarks == 0 {
+			v.failf("marking schedule delivered no congestion marks to the receiver")
+		}
+		if v.SenderStats.MDEvents == 0 {
+			v.failf("receiver observed %d marks but the sender never decreased cwnd", v.ReceiverStats.ECNMarks)
+		}
 	}
 	return v
 }
@@ -612,6 +670,18 @@ func Suite(seed int64) ([]RDSchedule, []UDSchedule) {
 			FaultBA:        faultnet.Config{GE: ge, DupRate: 0.1, CorruptRate: 0.03},
 			PartitionAtMsg: 150, PartitionDur: 250 * time.Millisecond,
 			AckHoleAtMsg: 300, AckHoleDur: 100 * time.Millisecond},
+		// Congestion schedules (DESIGN.md §4.13). rd-ecn-mark proves the
+		// mark→echo→decrease chain on a clean wire (marks must not cost
+		// deliveries); rd-congestion-burst layers marks over burst loss so
+		// ECN decrease, fast retransmit, and RTO collapse all fire in one
+		// run; rd-reorder-no-loss pins the no-spurious-recovery invariant.
+		{Name: "rd-ecn-mark", Seed: seed + 1100, Messages: 300, PayloadLen: 512,
+			FaultAB: faultnet.Config{MarkRate: 0.3}, RequireMarks: true, CheckWire: true},
+		{Name: "rd-congestion-burst", Seed: seed + 1200, Messages: 300, PayloadLen: 512,
+			FaultAB: faultnet.Config{GE: ge, MarkRate: 0.2}, CheckWire: true},
+		{Name: "rd-reorder-no-loss", Seed: seed + 1300, Messages: 300, PayloadLen: 512,
+			FaultAB:         faultnet.Config{ReorderRate: 0.25, ReorderSpan: 2, DupRate: 0.1},
+			RequireNoRexmit: true, CheckWire: true},
 	}
 	uds := []UDSchedule{
 		{Name: "ud-clean-baseline", Seed: seed + 700, Sends: 40, Writes: 4, WriteLen: 100 << 10},

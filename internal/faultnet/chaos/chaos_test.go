@@ -110,6 +110,46 @@ func TestChaosRDKitchenSink(t *testing.T) {
 	}))
 }
 
+// TestChaosRDECNMark pushes a heavy congestion-mark rate through the A→B
+// leg and requires the marks to arrive (receiver counts ECN-flagged DATA)
+// and to matter (sender performs at least one multiplicative decrease).
+func TestChaosRDECNMark(t *testing.T) {
+	check(t, RunRD(RDSchedule{
+		Name: "rd-ecn-mark", Seed: seedOr(12012),
+		Messages: 300, PayloadLen: 512,
+		FaultAB:      faultnet.Config{MarkRate: 0.3},
+		RequireMarks: true,
+		CheckWire:    true,
+	}))
+}
+
+// TestChaosRDCongestionBurst layers ECN marking on top of Gilbert–Elliott
+// burst loss: recovery (fast retransmit + RTO) and congestion response
+// (mark-driven decrease) must coexist without deadlocking the window.
+func TestChaosRDCongestionBurst(t *testing.T) {
+	check(t, RunRD(RDSchedule{
+		Name: "rd-congestion-burst", Seed: seedOr(13013),
+		Messages: 300, PayloadLen: 512,
+		FaultAB:   faultnet.Config{GE: ge, MarkRate: 0.2},
+		CheckWire: true,
+	}))
+}
+
+// TestChaosRDReorderNoLoss is the no-spurious-recovery invariant: with
+// reordering (span 2) and duplication but zero loss, the 64-bit SACK map
+// plus the dup-ACK threshold must keep diwarp_rudp_retransmits_total at
+// exactly 0 — any retransmission on this schedule is spurious by
+// construction.
+func TestChaosRDReorderNoLoss(t *testing.T) {
+	check(t, RunRD(RDSchedule{
+		Name: "rd-reorder-no-loss", Seed: seedOr(14014),
+		Messages: 300, PayloadLen: 512,
+		FaultAB:         faultnet.Config{ReorderRate: 0.25, ReorderSpan: 2, DupRate: 0.1},
+		RequireNoRexmit: true,
+		CheckWire:       true,
+	}))
+}
+
 func TestChaosUDCleanBaseline(t *testing.T) {
 	check(t, RunUD(UDSchedule{
 		Name: "ud-clean-baseline", Seed: seedOr(8008),

@@ -55,6 +55,15 @@ type Config struct {
 	ReorderSpan int       // max later sends a held packet waits behind (default 4)
 	DupRate     float64   // probability a delivered packet is sent twice
 	CorruptRate float64   // probability a packet is delivered with one byte flipped
+	// MarkRate is the probability a packet is stamped with a congestion
+	// mark — the ECN-capable switch marking instead of dropping. No-op
+	// unless Marker is also set; adjustable at runtime via SetMarkRate.
+	MarkRate float64
+	// Marker rewrites a packet copy in place to carry the congestion signal
+	// and reports whether it applied (rudp.MarkCongestion: DATA frames
+	// only, CRC re-stamped). It always runs on faultnet's own copy — the
+	// caller's buffer is never retained or modified.
+	Marker func(p []byte) bool
 	// Classify tags packets so class-targeted faults (SetAckBlackhole) know
 	// what they are looking at. nil classifies everything as ClassData.
 	Classify func(p []byte) Class
@@ -72,6 +81,7 @@ var (
 	mDups      = telemetry.Default.Counter("faultnet_duplicates_total")
 	mReorders  = telemetry.Default.Counter("faultnet_reorders_total")
 	mRecvDrops = telemetry.Default.Counter("faultnet_recv_drops_total")
+	mMarks     = telemetry.Default.Counter("faultnet_marks_total")
 )
 
 // held is a packet copy waiting out its reorder delay.
@@ -195,6 +205,16 @@ func (e *Endpoint) SetMTU(n int) {
 	e.log.append(OpCtl, transport.Addr{}, n, CtlMTU)
 }
 
+// SetMarkRate changes the congestion-mark probability mid-run — a chaos
+// schedule's switch queue filling (rate up) and draining (rate back down).
+// Takes effect only when Config.Marker was set at Wrap time.
+func (e *Endpoint) SetMarkRate(p float64) {
+	e.mu.Lock()
+	e.cfg.MarkRate = p
+	e.mu.Unlock()
+	e.log.append(OpCtl, transport.Addr{}, int(p*1e6), CtlMarkRate)
+}
+
 // HeldCount reports how many reorder-held packets are pending release.
 func (e *Endpoint) HeldCount() int {
 	e.mu.Lock()
@@ -254,9 +274,12 @@ func (e *Endpoint) geLossLocked() (lost bool, state uint32) {
 
 // SendTo runs the fault pipeline on one packet. Decision order is fixed —
 // release due held packets, partition, ACK blackhole, MTU, GE loss,
-// corruption, reorder hold, deliver, duplicate — so a seed fully determines
-// the decision sequence for a serialized driver. The caller's buffer is
-// never retained: corrupt and reorder legs copy.
+// congestion mark, corruption, reorder hold, deliver, duplicate — so a seed
+// fully determines the decision sequence for a serialized driver. The
+// caller's buffer is never retained: mark, corrupt and reorder legs copy.
+// Unlike the terminal legs, a mark swaps the marked copy into the rest of
+// the pipeline, so marked packets can still be corrupted, held, or
+// duplicated downstream.
 func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -286,6 +309,16 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 	}
 	if lost, st := e.geLossLocked(); lost {
 		return drop(OpDropGE, st)
+	}
+	if e.cfg.MarkRate > 0 && e.cfg.Marker != nil && e.rng.Float64() < e.cfg.MarkRate {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		if e.cfg.Marker(cp) {
+			p = cp
+			e.log.append(OpMark, to, len(p), 0)
+			telemetry.DefaultTrace.Record(telemetry.EvFault, telemetry.PeerToken(to), len(p), uint32(OpMark))
+			mMarks.Inc()
+		}
 	}
 	if e.cfg.CorruptRate > 0 && e.rng.Float64() < e.cfg.CorruptRate {
 		bad := make([]byte, len(p))

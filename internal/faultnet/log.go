@@ -25,6 +25,7 @@ const (
 	OpDup                         // packet delivered a second time
 	OpRecvDrop                    // one-way partition swallowed an incoming packet
 	OpCtl                         // control-plane change (partition/heal/MTU/blackhole)
+	OpMark                        // a copy was delivered carrying a congestion mark
 )
 
 func (o Op) String() string {
@@ -51,6 +52,8 @@ func (o Op) String() string {
 		return "RECV_DROP"
 	case OpCtl:
 		return "CTL"
+	case OpMark:
+		return "MARK"
 	default:
 		return "NONE"
 	}
@@ -65,6 +68,7 @@ const (
 	CtlAckHoleOn
 	CtlAckHoleOff
 	CtlMTU // Arg is shifted: CtlMTU<<16 | mtu value is too wide; MTU goes in Len
+	CtlMarkRate
 )
 
 // Event is one logged fault decision.

@@ -9,24 +9,32 @@
 // The protocol is deliberately lightweight compared to TCP — the whole point
 // of the paper's RD mode: per-peer sliding windows with selective
 // acknowledgement, adaptive retransmission (RFC 6298 RTT estimation with
-// Karn-correct sampling and backoff), exactly-once in-order delivery, and
-// nothing else (no congestion control, no byte-stream semantics, no
+// Karn-correct sampling and backoff), IRN-style selective loss recovery
+// with a BDP-bounded congestion window (DESIGN.md §4.13), exactly-once
+// in-order delivery, and nothing else (no byte-stream semantics, no
 // connection teardown handshake). Message boundaries are preserved, so the
 // DDP layer above needs no MPA markers.
 //
-// Wire format (big-endian):
+// Wire format (big-endian; byte 0 carries the frame type in its low nibble
+// and flag bits in its high nibble):
 //
-//	DATA: | type=1 (1) | epoch (1) | seq (4) | payload ... | crc32c (4) |
-//	ACK:  | type=2 (1) | epoch (1) | cumAck (4) | sack bitmap (4) | crc32c (4) |
+//	DATA: | type=1|flags (1) | epoch (1) | seq (4) | payload ... | crc32c (4) |
+//	ACK:  | type=2|flags (1) | epoch (1) | cumAck (4) | sack bitmap (8) | crc32c (4) |
 //
 // cumAck acknowledges every DATA with seq ≤ cumAck; sack bit i acknowledges
-// seq cumAck+1+i, letting the sender skip retransmitting packets that
-// arrived out of order. The CRC32C trailer covers everything before it.
-// It exists because this header is control plane: DDP's own CRC protects
-// the payload end-to-end, but a bit flipped in cumAck would make the sender
-// drop packets the receiver never got (silent loss), and a flipped seq
-// would poison the receiver's reassembly state. Corrupt packets are
-// discarded here and recovered exactly like losses.
+// seq cumAck+1+i. The bitmap is 64 bits wide — exactly windowSize — so
+// every packet the sender can have in flight is selectively acknowledgeable
+// (the previous 32-bit bitmap covered only half the window, and the
+// unSACKable upper half was spuriously retransmitted on every RTO even when
+// delivered). The flagECN bit is the congestion-signal plane: a simulated
+// switch (simnet/faultnet) sets it on a DATA frame via MarkCongestion, the
+// receiver echoes it on its next ACK, and the sender answers the echo with
+// a multiplicative cwnd decrease. The CRC32C trailer covers everything
+// before it. It exists because this header is control plane: DDP's own CRC
+// protects the payload end-to-end, but a bit flipped in cumAck would make
+// the sender drop packets the receiver never got (silent loss), and a
+// flipped seq would poison the receiver's reassembly state. Corrupt packets
+// are discarded here and recovered exactly like losses.
 //
 // The epoch byte identifies one incarnation of the sender's conversation
 // state: it is drawn at random when a peer's state is created and stamped
@@ -55,6 +63,7 @@ package rudp
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -70,11 +79,23 @@ import (
 const (
 	typeData = 1
 	typeAck  = 2
+	// typeMask extracts the frame type from byte 0; the high nibble is
+	// flag space so a marked packet still demuxes correctly.
+	typeMask = 0x0f
+	// flagECN is the congestion-experienced bit: set on DATA by the network
+	// (MarkCongestion), echoed on the next ACK by the receiver.
+	flagECN = 0x80
 
 	headerLen  = 6                      // DATA header before the payload
-	ackBodyLen = 10                     // ACK fields before the trailer
+	ackBodyLen = 14                     // ACK fields before the trailer (64-bit SACK bitmap)
 	ackLen     = ackBodyLen + crcx.Size // full ACK wire size
 	windowSize = 64
+	// sackBits is the SACK bitmap width. It MUST cover the full window:
+	// the sender can have windowSize packets in flight, and any seq the
+	// bitmap cannot express is retransmitted on every RTO even when it was
+	// delivered (the seed shipped 32 bits against a 64-packet window and
+	// behaved like go-back-N under burst loss).
+	sackBits = windowSize
 	// acceptWindow bounds how far past the in-order point a DATA seq may be
 	// buffered. The sender never has more than windowSize unacked, so any
 	// farther seq is garbage (or an un-evicted peer's past life); buffering
@@ -92,6 +113,16 @@ const (
 	// idleSweepEvery spaces EvictIdle scans: the scan is O(peers), so it
 	// runs once a second, not once per 2ms tick.
 	idleSweepEvery = time.Second / tickInterval
+
+	// Congestion control (IRN-style, DESIGN.md §4.13). cwnd is a packet
+	// count bounding unackedN; it grows by slow start below ssthresh and
+	// AIMD above it, and is clamped to windowSize (the ring IS the BDP
+	// ceiling). dupAckThresh duplicate cumulative ACKs carrying new SACK
+	// information trigger fast retransmit of the holes below the highest
+	// SACKed seq — loss recovery one RTT after the loss instead of one RTO.
+	initialCwnd  = 16
+	minCwnd      = 2
+	dupAckThresh = 3
 )
 
 // ErrPeerDead reports that a peer stopped acknowledging after maxRetries
@@ -120,6 +151,13 @@ type Config struct {
 	// data buffered behind a loss gap is dropped with the state, exactly
 	// as if the packets had been lost on the wire.
 	IdleEvict time.Duration
+	// GoBackN disables the IRN machinery — 32-bit SACK on the ACKs this
+	// endpoint cuts, no fast retransmit, no congestion window, no ECN —
+	// reproducing the pre-§4.13 loss behavior. It exists as the A/B
+	// baseline for the EXPERIMENTS.md goodput figure and stays wire-
+	// compatible: the bitmap field is still 64 bits on the wire, an IRN
+	// peer just finds the top half always zero.
+	GoBackN bool
 }
 
 // Endpoint is a reliable datagram endpoint. It implements
@@ -152,7 +190,7 @@ type Endpoint struct {
 	// already tolerates the loss — a dropped ACK is re-cut from cumulative
 	// state, a dropped retransmission fires again at the next RTO — but a
 	// persistently failing transport must be visible rather than silent.
-	retransmits   *telemetry.Counter   // DATA packets resent after RTO expiry
+	retransmits   *telemetry.Counter   // DATA packets resent (RTO expiry or fast retransmit)
 	rtoExpired    *telemetry.Counter   // RTO expiry events (includes final, fatal one)
 	ackSendFail   *telemetry.Counter   // ACK sends the inner transport rejected
 	dataSendFail  *telemetry.Counter   // retransmission sends the inner transport rejected
@@ -161,6 +199,20 @@ type Endpoint struct {
 	evictions     *telemetry.Counter   // peers evicted (dead on observation, or idle)
 	epochMismatch *telemetry.Counter   // packets from a different conversation incarnation
 	rtt           *telemetry.Histogram // ack round-trip, µs (Karn: first transmissions only)
+
+	// Congestion-control observability (DESIGN.md §4.13). ccCwnd is a gauge
+	// tracking the most recently adjusted peer's cwnd — with one busy peer
+	// (the benchmark and chaos shapes) it IS the cwnd trajectory; the
+	// registry sums handles across endpoints, so a scrape of a multi-
+	// endpoint process reads the sum of each endpoint's latest value.
+	// ccSpurious counts DATA arrivals the receiver had already delivered or
+	// buffered — every one is a packet the sender resent for nothing (or a
+	// wire duplicate), the counter that proves the SACK-width fix.
+	ccCwnd       *telemetry.Gauge
+	ccFastRexmit *telemetry.Counter // DATA packets resent by dup-ACK fast retransmit
+	ccSpurious   *telemetry.Counter // duplicate DATA arrivals (already delivered/buffered)
+	ccEcnMarks   *telemetry.Counter // DATA arrivals carrying the congestion mark
+	ccMDEvents   *telemetry.Counter // multiplicative decreases (ECN echo, dup-ACK loss, RTO)
 
 	inbox chan message
 	done  chan struct{}
@@ -215,6 +267,21 @@ type peerState struct {
 	rttvar  time.Duration
 	backoff int
 
+	// Congestion control (unused when Config.GoBackN). cwnd is the dynamic
+	// in-flight cap in packets; ssthresh the slow-start/AIMD boundary.
+	// ccRecover gates multiplicative decrease NewReno-style: signals
+	// arriving while ackedTo has not passed the seq outstanding at the last
+	// decrease belong to the same congestion event and must not halve cwnd
+	// again. dupAcks counts consecutive ACKs that advanced nothing
+	// cumulatively but freed new SACK holes — the fast-retransmit trigger.
+	// ecnEcho, on the receive side, latches an observed congestion mark
+	// until the next ACK carries the echo out.
+	cwnd      float64
+	ssthresh  float64
+	ccRecover uint32
+	dupAcks   int
+	ecnEcho   bool
+
 	// Receive side.
 	expected uint32            // next in-order seq to deliver
 	ooo      map[uint32][]byte // out-of-order arrivals pending delivery
@@ -253,6 +320,60 @@ func (ps *peerState) observeRTT(sample time.Duration) {
 	}
 	ps.rttvar = (3*ps.rttvar + diff) / 4
 	ps.srtt = (7*ps.srtt + sample) / 8
+}
+
+// cwndCap is the congestion window as an integer packet bound (≥ 1 so the
+// window can never deadlock shut).
+func (ps *peerState) cwndCap() int {
+	n := int(ps.cwnd)
+	if n < 1 {
+		n = 1
+	}
+	if n > windowSize {
+		n = windowSize
+	}
+	return n
+}
+
+// ccGrow credits n newly acknowledged packets to the congestion window:
+// slow start (one packet per acked packet) below ssthresh, additive
+// increase (~one packet per cwnd of acks, i.e. per RTT) above it, clamped
+// to the ring size — the ring IS the BDP ceiling.
+func (ps *peerState) ccGrow(n int) {
+	for i := 0; i < n; i++ {
+		if ps.cwnd < ps.ssthresh {
+			ps.cwnd++
+		} else {
+			ps.cwnd += 1 / ps.cwnd
+		}
+	}
+	if ps.cwnd > windowSize {
+		ps.cwnd = windowSize
+	}
+}
+
+// ccDecrease applies one multiplicative decrease, NewReno-gated: signals
+// landing before ackedTo passes the flight outstanding at the previous
+// decrease are the same congestion event and are absorbed. collapse
+// distinguishes an RTO expiry (the flight is presumed gone — restart from
+// minCwnd) from an ECN echo or dup-ACK loss (the network is still
+// delivering — keep half the window). Reports whether a decrease happened.
+func (ps *peerState) ccDecrease(collapse bool) bool {
+	if !seqLE(ps.ccRecover, ps.ackedTo) {
+		return false
+	}
+	ps.ssthresh = ps.cwnd / 2
+	if ps.ssthresh < minCwnd {
+		ps.ssthresh = minCwnd
+	}
+	if collapse {
+		ps.cwnd = minCwnd
+	} else {
+		ps.cwnd = ps.ssthresh
+	}
+	ps.ccRecover = ps.nextSeq - 1
+	ps.dupAcks = 0
+	return true
 }
 
 // pending is one ring slot: an in-window packet. refs counts reasons the
@@ -312,7 +433,13 @@ func NewConfig(inner transport.Datagram, cfg Config) *Endpoint {
 		evictions:     telemetry.Default.Counter("diwarp_rudp_peer_evictions_total"),
 		epochMismatch: telemetry.Default.Counter("diwarp_rudp_epoch_mismatch_total"),
 		rtt:           telemetry.Default.Histogram("diwarp_rudp_rtt_microseconds"),
+		ccCwnd:        telemetry.Default.Gauge("diwarp_rudp_cc_cwnd"),
+		ccFastRexmit:  telemetry.Default.Counter("diwarp_rudp_cc_fast_retransmits_total"),
+		ccSpurious:    telemetry.Default.Counter("diwarp_rudp_cc_spurious_rexmits_total"),
+		ccEcnMarks:    telemetry.Default.Counter("diwarp_rudp_cc_ecn_marks_total"),
+		ccMDEvents:    telemetry.Default.Counter("diwarp_rudp_cc_md_events_total"),
 	}
+	e.ccCwnd.Set(initialCwnd)
 	e.wg.Add(2)
 	go e.recvLoop()
 	go e.retransmitLoop()
@@ -329,6 +456,8 @@ func initPeer(ent *peerEntry) {
 		sendWait: make(chan struct{}, 1),
 		txEpoch:  byte(rand.Int()),
 		wheelIdx: -1,
+		cwnd:     initialCwnd,
+		ssthresh: windowSize,
 	}
 }
 
@@ -390,7 +519,28 @@ func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
 // IsAckPacket reports whether a wire packet is a rudp ACK — exported so a
 // fault-injection layer below can target the reverse path (ACK blackholes)
 // without re-deriving the wire format.
-func IsAckPacket(p []byte) bool { return len(p) == ackLen && p[0] == typeAck }
+func IsAckPacket(p []byte) bool { return len(p) == ackLen && p[0]&typeMask == typeAck }
+
+// MarkCongestion sets the ECN congestion-experienced bit on a rudp DATA
+// frame in place, re-stamping the CRC trailer (the header is control plane:
+// a simulated switch may rewrite it, but the receiver verifies the CRC
+// before the type byte, so the mark must be covered or the frame reads as
+// corrupt). Reports whether p was a markable DATA frame; ACKs and foreign
+// packets are left untouched. Exported as the Marker hook for simnet and
+// faultnet — the layers playing the ECN-capable switch. The caller must own
+// p exclusively (its private copy of the frame): marking a buffer the
+// sender retains for retransmission would race with the resend path.
+func MarkCongestion(p []byte) bool {
+	if len(p) < headerLen+crcx.Size || p[0]&typeMask != typeData {
+		return false
+	}
+	p[0] |= flagECN
+	body := p[:len(p)-crcx.Size]
+	// Appending to the truncated slice rewrites the trailer bytes in place:
+	// body's capacity still spans p's backing array.
+	nio.PutU32(body, crcx.Checksum(body))
+	return true
+}
 
 // admitEpoch checks an inbound packet's epoch against the conversation and
 // reports whether processing may continue. Caller holds the entry lock.
@@ -427,6 +577,8 @@ func (e *Endpoint) admitEpoch(ent *peerEntry, epoch byte, isData bool, seq uint3
 		clear(ps.ooo)
 		ps.nextSeq, ps.ackedTo = 1, 0
 		ps.srtt, ps.rttvar, ps.backoff = 0, 0, 0
+		ps.cwnd, ps.ssthresh = initialCwnd, windowSize
+		ps.ccRecover, ps.dupAcks, ps.ecnEcho = 0, 0, false
 		return true
 	}
 	return false
@@ -441,6 +593,15 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 	if len(p) > e.MaxDatagram() {
 		return transport.ErrTooLarge
 	}
+	// One timer serves every blocked-wait iteration of this call (see
+	// waitSendSlot); nil until the window first blocks, so the fast path
+	// never allocates one.
+	var tm *time.Timer
+	defer func() {
+		if tm != nil {
+			tm.Stop()
+		}
+	}()
 	for {
 		if e.closed.Load() {
 			return transport.ErrClosed
@@ -459,8 +620,13 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 		// The next seq's ring slot is free exactly when seq-windowSize has
 		// been acked (seqs are consecutive), so slot occupancy is the window
 		// check. refs must also have drained: a retransmission of the old
-		// occupant may still be in flight holding the slot's counter.
-		if pd := &ps.wnd[ps.nextSeq&(windowSize-1)]; !pd.inUse && pd.refs.Load() == 0 {
+		// occupant may still be in flight holding the slot's counter. On top
+		// of the ring bound, unackedN must fit the congestion window — the
+		// BDP-scaled dynamic cap — unless the endpoint runs as the go-back-N
+		// baseline.
+		pd := &ps.wnd[ps.nextSeq&(windowSize-1)]
+		if !pd.inUse && pd.refs.Load() == 0 &&
+			(e.cfg.GoBackN || ps.unackedN < ps.cwndCap()) {
 			now := time.Now()
 			seq := ps.nextSeq
 			ps.nextSeq++
@@ -483,14 +649,41 @@ func (e *Endpoint) SendTo(p []byte, to transport.Addr) error {
 		}
 		wait := ps.sendWait
 		ent.Unlock()
-		select {
-		case <-wait:
-		case <-e.done:
+		var ok bool
+		if tm, ok = e.waitSendSlot(wait, tm); !ok {
 			return transport.ErrClosed
-		case <-time.After(tickInterval * 4):
-			// Re-check: space may have been freed without a pulse.
 		}
 	}
+}
+
+// waitSendSlot parks a blocked sender until window space is pulsed, the
+// endpoint closes (ok=false), or a re-check interval passes (space may have
+// been freed without a pulse). The timer is reused across iterations of one
+// SendTo — the historical time.After here allocated a fresh runtime timer
+// every loop, garbage proportional to time spent blocked. tm is nil on the
+// first block; the (possibly just-created) timer is returned for the next
+// iteration and is either drained here or stopped by SendTo's defer.
+func (e *Endpoint) waitSendSlot(wait chan struct{}, tm *time.Timer) (*time.Timer, bool) {
+	if tm == nil {
+		tm = time.NewTimer(tickInterval * 4)
+	} else {
+		// Pre-1.23 timer discipline: the channel must be drained before
+		// Reset, and the select below guarantees it was not already.
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		tm.Reset(tickInterval * 4)
+	}
+	select {
+	case <-wait:
+	case <-e.done:
+		return tm, false
+	case <-tm.C:
+	}
+	return tm, true
 }
 
 // Recv implements transport.Datagram, returning the next in-order message
@@ -542,7 +735,7 @@ func (e *Endpoint) recvLoop() {
 				e.crcFail.Inc()
 				telemetry.DefaultTrace.Record(telemetry.EvCRCFail, telemetry.PeerToken(from), len(pkt), 0)
 			} else {
-				switch body[0] {
+				switch body[0] & typeMask {
 				case typeData:
 					e.handleData(body, from)
 				case typeAck:
@@ -574,6 +767,12 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 		ent.Unlock()
 		return
 	}
+	if pkt[0]&flagECN != 0 && !e.cfg.GoBackN {
+		// Congestion-experienced mark from the network below: latch the
+		// echo so the ACK cut below carries it back to the sender.
+		e.ccEcnMarks.Inc()
+		ps.ecnEcho = true
+	}
 	var deliverables []message
 	switch {
 	case seq-ps.expected < acceptWindow:
@@ -582,6 +781,10 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 		// straddles seq 2^32 → 0 behaves like any other.
 		if _, dup := ps.ooo[seq]; !dup {
 			ps.ooo[seq] = append([]byte(nil), payload...)
+		} else {
+			// Already buffered: the sender resent a packet we hold (or the
+			// wire duplicated it) — a spurious retransmission either way.
+			e.ccSpurious.Inc()
 		}
 		for {
 			data, ok := ps.ooo[ps.expected]
@@ -594,7 +797,9 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 		}
 	case seqLE(seq, ps.expected-1):
 		// Old duplicate (the sender missed our ACK): nothing to store, but
-		// fall through to re-cut the cumulative ACK below.
+		// fall through to re-cut the cumulative ACK below. Counted spurious:
+		// this packet was already delivered, so resending it moved no data.
+		e.ccSpurious.Inc()
 	default:
 		// Beyond the window: a sane sender cannot produce this within one
 		// conversation, so nothing is stored — one garbage packet must not
@@ -623,27 +828,50 @@ func (e *Endpoint) handleData(pkt []byte, from transport.Addr) {
 	}
 }
 
-// buildAck encodes the peer's receive state: cumulative ack plus a bitmap of
-// the 32 sequence numbers above it. Caller holds the entry lock.
+// buildAck encodes the peer's receive state: cumulative ack plus a bitmap
+// of the full window of sequence numbers above it, and the latched ECN echo
+// in the flag nibble. Caller holds the entry lock.
 func (e *Endpoint) buildAck(ps *peerState) []byte {
 	cum := ps.expected - 1
-	var bitmap uint32
-	for i := uint32(0); i < 32; i++ {
+	var bitmap uint64
+	// In go-back-N baseline mode only the low 32 bits are populated,
+	// reproducing the seed's SACK blind spot for the A/B measurement.
+	bits := uint32(sackBits)
+	if e.cfg.GoBackN {
+		bits = 32
+	}
+	for i := uint32(0); i < bits; i++ {
 		if _, ok := ps.ooo[cum+1+i]; ok {
 			bitmap |= 1 << i
 		}
 	}
+	head := byte(typeAck)
+	if ps.ecnEcho {
+		head |= flagECN
+		ps.ecnEcho = false
+	}
 	buf := e.ackPool.Get()
-	buf = append(buf, typeAck, ps.txEpoch)
+	buf = append(buf, head, ps.txEpoch)
 	buf = nio.PutU32(buf, cum)
-	buf = nio.PutU32(buf, bitmap)
+	buf = nio.PutU64(buf, bitmap)
 	buf = nio.PutU32(buf, crcx.Checksum(buf))
 	return buf
 }
 
+// sackHighest returns the highest sequence number the bitmap selectively
+// acknowledges above cum, in wraparound arithmetic (bit i ↔ seq cum+1+i, so
+// the result is correct even when the window straddles 2^32 → 0). ok is
+// false when the bitmap is empty.
+func sackHighest(cum uint32, bitmap uint64) (uint32, bool) {
+	if bitmap == 0 {
+		return 0, false
+	}
+	return cum + uint32(64-bits.LeadingZeros64(bitmap)), true
+}
+
 func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	cum := nio.U32(pkt[2:])
-	bitmap := nio.U32(pkt[6:])
+	bitmap := nio.U64(pkt[6:])
 
 	now := time.Now()
 	// Look up without creating: an ACK from an address we are not talking
@@ -657,7 +885,9 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 		ent.Unlock()
 		return
 	}
-	freed := false
+	cumBefore := ps.ackedTo
+	freedN := 0  // slots this ACK released (cumulative or selective)
+	sackNew := 0 // of those, released by a bitmap bit above cum
 	// Walk only the live window range (ackedTo, nextSeq): unacked seqs are
 	// consecutive, so everything below ackedTo's slot is long recycled and
 	// everything at nextSeq and above is unsent.
@@ -670,8 +900,9 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 		if !acked {
 			// SACK offset in wraparound arithmetic: seq-cum-1 is the bit
 			// index even when cum is just below 2^32 and seq just above 0.
-			if d := seq - cum - 1; d < 32 && bitmap&(1<<d) != 0 {
+			if d := seq - cum - 1; d < sackBits && bitmap&(1<<d) != 0 {
 				acked = true
+				sackNew++
 			}
 		}
 		if !acked {
@@ -688,7 +919,7 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 		pd.inUse, pd.payload = false, nil
 		ps.unackedN--
 		e.releaseRef(pd, payload)
-		freed = true
+		freedN++
 	}
 	// Advance the contiguous-acked floor to the cumulative ack (never past
 	// what was actually sent: a garbage cum must not detach the floor from
@@ -696,11 +927,65 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	if seqLE(ps.ackedTo+1, cum) && seqLE(cum, ps.nextSeq-1) {
 		ps.ackedTo = cum
 	}
-	if freed {
+	if freedN > 0 {
 		// Acknowledged progress ends the backoff regime (Karn): the path is
 		// passing traffic again, so retransmission timing restarts from the
 		// current RTT estimate instead of the escalated timeout.
 		ps.backoff = 0
+	}
+	// Congestion control + fast retransmit (skipped in the go-back-N
+	// baseline). Resends are collected under the lock and sent after it.
+	type resend struct {
+		pd      *pending
+		payload []byte
+		seq     uint32
+	}
+	var rs [windowSize]resend
+	nrs := 0
+	if !e.cfg.GoBackN {
+		ps.ccGrow(freedN)
+		if pkt[0]&flagECN != 0 {
+			// The receiver saw a congestion mark within the last RTT:
+			// multiplicative decrease, once per congestion event.
+			if ps.ccDecrease(false) {
+				e.ccMDEvents.Inc()
+			}
+		}
+		if ps.ackedTo != cumBefore {
+			ps.dupAcks = 0
+		} else if sackNew > 0 {
+			// The cumulative floor is stuck but the receiver keeps
+			// acknowledging new data above it — the classic duplicate-ACK
+			// shape. (A byte-identical wire duplicate frees nothing and is
+			// ignored, so dup counting survives faultnet's dup leg.)
+			ps.dupAcks++
+			high, haveHigh := sackHighest(cum, bitmap)
+			if ps.dupAcks >= dupAckThresh && haveHigh && seqLE(ps.ccRecover, ps.ackedTo) {
+				// Fast retransmit: everything still unacked below the
+				// highest SACKed seq has had dupAckThresh chances to be
+				// acknowledged and was not — infer loss and resend exactly
+				// those holes, one RTT after the loss instead of one RTO.
+				// The triggering ACK's own bitmap bounds the sweep: buildAck
+				// scans the receiver's whole out-of-order map, so the bitmap
+				// is cumulative and no cross-ACK maximum needs tracking.
+				for seq := ps.ackedTo + 1; seqLE(seq+1, high); seq++ {
+					pd := &ps.wnd[seq&(windowSize-1)]
+					if !pd.inUse || pd.seq != seq {
+						continue
+					}
+					pd.retries++ // Karn: its next ack is ambiguous
+					pd.lastSent = now
+					pd.refs.Add(1)
+					rs[nrs] = resend{pd: pd, payload: pd.payload, seq: seq}
+					nrs++
+				}
+				if ps.ccDecrease(false) {
+					e.ccMDEvents.Inc()
+				}
+				ps.dupAcks = 0
+			}
+		}
+		e.ccCwnd.Set(int64(ps.cwnd))
 	}
 	if ps.unackedN == 0 && ps.wheelIdx >= 0 {
 		e.wheel.Disarm(from, ps.wheelIdx)
@@ -709,7 +994,16 @@ func (e *Endpoint) handleAck(pkt []byte, from transport.Addr) {
 	wait := ps.sendWait
 	ent.Touch(now.UnixNano())
 	ent.Unlock()
-	if freed {
+	for _, r := range rs[:nrs] {
+		e.retransmits.Inc()
+		e.ccFastRexmit.Inc()
+		telemetry.DefaultTrace.Record(telemetry.EvRetransmit, telemetry.PeerToken(from), len(r.payload), r.seq)
+		if err := e.inner.SendTo(r.payload, from); err != nil {
+			e.dataSendFail.Inc()
+		}
+		e.releaseRef(r.pd, r.payload)
+	}
+	if freedN > 0 {
 		select {
 		case wait <- struct{}{}:
 		default:
@@ -822,6 +1116,15 @@ func (e *Endpoint) tickPeer(f peertab.Fired[transport.Addr], now time.Time) {
 			minLastSent = now
 		}
 	}
+	if nrs > 0 && !e.cfg.GoBackN {
+		// An RTO expiry means the congestion signal chain (SACKs, dup ACKs,
+		// ECN echoes) went silent for a whole timeout — assume the flight is
+		// gone and collapse to minCwnd rather than merely halving.
+		if ps.ccDecrease(true) {
+			e.ccMDEvents.Inc()
+		}
+		e.ccCwnd.Set(int64(ps.cwnd))
+	}
 	var wake chan struct{}
 	switch {
 	case ps.dead != nil:
@@ -905,11 +1208,12 @@ func (e *Endpoint) Flush(timeout time.Duration) error {
 
 // Snapshot is a point-in-time view of the endpoint's reliability counters.
 type Snapshot struct {
-	// Retransmits counts DATA packets actually resent after an RTO expiry.
+	// Retransmits counts DATA packets actually resent, whether by RTO
+	// expiry or by dup-ACK fast retransmit.
 	Retransmits int64
 	// RTOExpirations counts RTO expiry events, including the final expiry
-	// that declares a peer dead (so it can exceed Retransmits by one per
-	// failed peer, and equals Retransmits otherwise).
+	// that declares a peer dead (so RTOExpirations + FastRetransmits can
+	// exceed Retransmits by one per failed peer, and equals it otherwise).
 	RTOExpirations int64
 	// AckSendFailures counts ACK sends the inner transport rejected.
 	AckSendFailures int64
@@ -926,6 +1230,21 @@ type Snapshot struct {
 	// EpochMismatches counts packets carrying a different conversation
 	// incarnation than the one bound — restart detections and stragglers.
 	EpochMismatches int64
+	// FastRetransmits counts DATA packets resent by the dup-ACK fast
+	// retransmit path (also included in Retransmits).
+	FastRetransmits int64
+	// SpuriousRexmits counts DATA arrivals this endpoint had already
+	// delivered or buffered — each is a packet the peer resent for nothing
+	// (or a wire duplicate). The counter that proves the SACK-width fix.
+	SpuriousRexmits int64
+	// ECNMarks counts inbound DATA carrying the congestion-experienced
+	// mark (observed at the receiver; the sender sees them as MD events).
+	ECNMarks int64
+	// MDEvents counts multiplicative decreases of the congestion window —
+	// one per congestion event (ECN echo, dup-ACK loss, or RTO collapse).
+	MDEvents int64
+	// Cwnd is the most recently recorded congestion window, in packets.
+	Cwnd int64
 }
 
 // Snapshot reports this endpoint's reliability counters. The values are
@@ -941,6 +1260,11 @@ func (e *Endpoint) Snapshot() Snapshot {
 		WindowDrops:            e.windowDrops.Load(),
 		PeerEvictions:          e.evictions.Load(),
 		EpochMismatches:        e.epochMismatch.Load(),
+		FastRetransmits:        e.ccFastRexmit.Load(),
+		SpuriousRexmits:        e.ccSpurious.Load(),
+		ECNMarks:               e.ccEcnMarks.Load(),
+		MDEvents:               e.ccMDEvents.Load(),
+		Cwnd:                   e.ccCwnd.Load(),
 	}
 }
 

@@ -39,11 +39,12 @@ func TestSnapshotCountsLossRecovery(t *testing.T) {
 	if s.Retransmits == 0 {
 		t.Fatalf("30%% loss produced no retransmits: %+v", s)
 	}
-	// Every retransmission is preceded by an expiry; expiries can exceed
-	// retransmissions only by fatal (retries-exhausted) events, of which a
-	// delivered run has none.
-	if s.RTOExpirations != s.Retransmits {
-		t.Fatalf("RTO expirations %d != retransmits %d on a surviving run", s.RTOExpirations, s.Retransmits)
+	// Every retransmission is triggered by an RTO expiry or a dup-ACK fast
+	// retransmit; expiries can exceed their share only by fatal
+	// (retries-exhausted) events, of which a delivered run has none.
+	if s.RTOExpirations+s.FastRetransmits != s.Retransmits {
+		t.Fatalf("RTO expirations %d + fast retransmits %d != retransmits %d on a surviving run",
+			s.RTOExpirations, s.FastRetransmits, s.Retransmits)
 	}
 	if s.AckSendFailures != 0 || s.RetransmitSendFailures != 0 {
 		t.Fatalf("healthy transport charged with send failures: %+v", s)

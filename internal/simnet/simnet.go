@@ -46,6 +46,15 @@ type Config struct {
 	ReorderRate float64
 	// DupRate is the probability a datagram is delivered twice.
 	DupRate float64
+	// MarkRate is the probability a datagram is stamped with a congestion
+	// mark by Marker — the simulated analogue of an ECN-capable switch
+	// marking instead of dropping. No-op unless Marker is set.
+	MarkRate float64
+	// Marker rewrites a datagram in place to carry a congestion signal and
+	// reports whether it applied (rudp.MarkCongestion marks DATA frames and
+	// re-stamps their CRC; non-markable packets pass unchanged). It is
+	// called on the simulator's own pooled copy, never the caller's buffer.
+	Marker func(p []byte) bool
 	// Latency is an optional one-way delivery delay.
 	Latency time.Duration
 	// QueueLen bounds each endpoint's receive queue in packets
@@ -87,6 +96,7 @@ type Counters struct {
 	LostMcast        int64 // multicast legs lost (wire loss or closed member)
 	DatagramsDup     int64
 	DatagramsReorder int64
+	DatagramsMarked  int64 // congestion marks applied by Config.Marker
 	FragmentsSent    int64
 	BytesSent        int64
 }
@@ -102,6 +112,7 @@ type Network struct {
 	lossMicro    atomic.Int64 // LossRate * 1e6, runtime-adjustable
 	reorderMicro atomic.Int64
 	dupMicro     atomic.Int64
+	markMicro    atomic.Int64
 
 	mu        sync.Mutex
 	dgram     map[transport.Addr]*DatagramEndpoint
@@ -115,6 +126,7 @@ type Network struct {
 	// with loss accounted per cause.
 	sent, dup, reorder, frags, bytes *telemetry.Counter
 	lostLoss, lostLatency, lostMcast *telemetry.Counter
+	marked                           *telemetry.Counter
 }
 
 // New creates a network with the given configuration.
@@ -130,6 +142,7 @@ func New(cfg Config) *Network {
 	n.lossMicro.Store(int64(cfg.LossRate * 1e6))
 	n.reorderMicro.Store(int64(cfg.ReorderRate * 1e6))
 	n.dupMicro.Store(int64(cfg.DupRate * 1e6))
+	n.markMicro.Store(int64(cfg.MarkRate * 1e6))
 	n.sent = telemetry.Default.Counter("diwarp_simnet_datagrams_sent_total")
 	n.dup = telemetry.Default.Counter("diwarp_simnet_dup_total")
 	n.reorder = telemetry.Default.Counter("diwarp_simnet_reorder_total")
@@ -138,6 +151,7 @@ func New(cfg Config) *Network {
 	n.lostLoss = telemetry.Default.Counter("diwarp_simnet_drop_loss_total")
 	n.lostLatency = telemetry.Default.Counter("diwarp_simnet_drop_latency_total")
 	n.lostMcast = telemetry.Default.Counter("diwarp_simnet_drop_mcast_total")
+	n.marked = telemetry.Default.Counter("diwarp_simnet_marked_total")
 	return n
 }
 
@@ -151,6 +165,23 @@ func (n *Network) SetReorderRate(p float64) { n.reorderMicro.Store(int64(p * 1e6
 // SetDupRate changes the duplication probability at runtime.
 func (n *Network) SetDupRate(p float64) { n.dupMicro.Store(int64(p * 1e6)) }
 
+// SetMarkRate changes the congestion-mark probability at runtime; the
+// goodput harness ramps it the way a switch's RED/ECN threshold engages as
+// its queue fills.
+func (n *Network) SetMarkRate(p float64) { n.markMicro.Store(int64(p * 1e6)) }
+
+// maybeMark stamps the simulator-owned buffer with Config.Marker at the
+// configured rate. Called only on pooled copies: the marker rewrites bytes
+// (flag bit + CRC trailer), which must never touch a caller's buffer.
+func (n *Network) maybeMark(buf []byte) {
+	if n.cfg.Marker == nil || !n.chance(n.markMicro.Load()) {
+		return
+	}
+	if n.cfg.Marker(buf) {
+		n.marked.Inc()
+	}
+}
+
 // Counters returns a snapshot of traffic statistics.
 func (n *Network) Counters() Counters {
 	loss, lat, mc := n.lostLoss.Load(), n.lostLatency.Load(), n.lostMcast.Load()
@@ -162,6 +193,7 @@ func (n *Network) Counters() Counters {
 		LostMcast:        mc,
 		DatagramsDup:     n.dup.Load(),
 		DatagramsReorder: n.reorder.Load(),
+		DatagramsMarked:  n.marked.Load(),
 		FragmentsSent:    n.frags.Load(),
 		BytesSent:        n.bytes.Load(),
 	}
@@ -322,6 +354,7 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 	}
 	buf := getPktBuf(len(p))
 	copy(buf, p)
+	nw.maybeMark(buf)
 	if err := send(packet{payload: buf, from: e.addr}); err != nil {
 		return err
 	}
@@ -331,6 +364,8 @@ func (e *DatagramEndpoint) SendTo(p []byte, to transport.Addr) error {
 		// first copy's storage before consuming the second.
 		dupBuf := getPktBuf(len(p))
 		copy(dupBuf, p)
+		// Its own mark draw too: each wire traversal meets the queue anew.
+		nw.maybeMark(dupBuf)
 		return send(packet{payload: dupBuf, from: e.addr})
 	}
 	return nil
@@ -383,6 +418,7 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 		}
 		buf := getPktBuf(len(p))
 		copy(buf, p)
+		nw.maybeMark(buf)
 		pk := packet{payload: buf, from: e.addr}
 		if nw.chance(nw.reorderMicro.Load()) && len(batch) > 0 {
 			nw.reorder.Inc()
@@ -399,6 +435,7 @@ func (e *DatagramEndpoint) SendBatch(pkts [][]byte, to transport.Addr) (int, err
 			nw.dup.Inc()
 			dupBuf := getPktBuf(len(p))
 			copy(dupBuf, p)
+			nw.maybeMark(dupBuf)
 			batch = append(batch, packet{payload: dupBuf, from: e.addr})
 			orig = append(orig, i)
 		}
